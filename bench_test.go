@@ -1,0 +1,313 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per exhibit; see DESIGN.md for the index). Each bench runs the full
+// experiment, reports its headline numbers as custom metrics, and fails
+// if the paper's qualitative shape does not hold — who wins, by roughly
+// what factor, where the signal appears.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+package rpingmesh_test
+
+import (
+	"testing"
+
+	"rpingmesh/internal/experiments"
+)
+
+// runExp runs one experiment per bench iteration, reports chosen metrics,
+// and hands the last report to check.
+func runExp(b *testing.B, id string, metrics []string, check func(b *testing.B, m map[string]float64)) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last map[string]float64
+	for i := 0; i < b.N; i++ {
+		rep := exp.Run(1)
+		last = rep.Metrics
+	}
+	for _, m := range metrics {
+		b.ReportMetric(last[m], m)
+	}
+	if check != nil {
+		check(b, last)
+	}
+}
+
+func BenchmarkFig1Flapping(b *testing.B) {
+	runExp(b, "fig1", []string{"baseline_gbps", "port_flap_gbps", "rnic_flap_gbps"}, func(b *testing.B, m map[string]float64) {
+		// Paper: a single flapping port or RNIC collapses cluster
+		// throughput (even to zero).
+		if m["port_flap_degradation"] < 0.5 {
+			b.Fatalf("port flap degraded only %.0f%%", m["port_flap_degradation"]*100)
+		}
+		if m["rnic_flap_degradation"] < 0.5 {
+			b.Fatalf("rnic flap degraded only %.0f%%", m["rnic_flap_degradation"]*100)
+		}
+		if m["healed_gbps"] < m["baseline_gbps"]*0.7 {
+			b.Fatalf("throughput did not recover after healing")
+		}
+	})
+}
+
+func BenchmarkFig2SoftwareRTT(b *testing.B) {
+	runExp(b, "fig2", []string{"software_p99_swing", "network_p99_swing"}, func(b *testing.B, m map[string]float64) {
+		// Paper: software RTT tracks host load; CQE RTT does not.
+		if m["software_p99_swing"] < 2 {
+			b.Fatalf("software RTT barely moved with load: %.2fx", m["software_p99_swing"])
+		}
+		if m["network_p99_swing"] > 1.5 {
+			b.Fatalf("CQE RTT moved with host load: %.2fx", m["network_p99_swing"])
+		}
+	})
+}
+
+func BenchmarkTable1QPTypes(b *testing.B) {
+	runExp(b, "table1", []string{"rc_send_cqe_us", "ud_send_cqe_us", "rc_contexts", "ud_contexts"}, func(b *testing.B, m map[string]float64) {
+		// Paper Table 1: RC cannot observe wire time; UD can, with one
+		// context regardless of fan-out.
+		if m["rc_send_cqe_us"] < 50 {
+			b.Fatalf("RC send CQE at %.1fµs — should wait for the ACK RTT", m["rc_send_cqe_us"])
+		}
+		if m["ud_send_cqe_us"] > 10 {
+			b.Fatalf("UD send CQE at %.1fµs — should be wire time", m["ud_send_cqe_us"])
+		}
+		if m["ud_contexts"] != 1 || m["rc_contexts"] != 512 {
+			b.Fatalf("connection overhead wrong: UD=%v RC=%v", m["ud_contexts"], m["rc_contexts"])
+		}
+		if m["rc_cache_misses"] == 0 {
+			b.Fatal("RC fan-out should overflow the QPC cache")
+		}
+	})
+}
+
+func BenchmarkEq1Coverage(b *testing.B) {
+	runExp(b, "eq1", []string{"k_for_N_08", "k_for_N_64"}, func(b *testing.B, m map[string]float64) {
+		if m["k_for_N_08"] < 8 || m["k_for_N_64"] < 64 {
+			b.Fatal("Equation 1 returned k < N")
+		}
+	})
+}
+
+func BenchmarkFig4ProbeProtocol(b *testing.B) {
+	runExp(b, "fig4", []string{"rtt_p50_us", "responder_delay_p50_us"}, func(b *testing.B, m map[string]float64) {
+		// RTT must be physical (µs scale, never negative) despite ±10s
+		// clock offsets and 50ppm drift.
+		if m["negative_components"] != 0 {
+			b.Fatalf("%v negative latency components", m["negative_components"])
+		}
+		if m["rtt_p50_us"] <= 0 || m["rtt_p50_us"] > 100 {
+			b.Fatalf("P50 RTT %.1fµs out of physical range", m["rtt_p50_us"])
+		}
+	})
+}
+
+func BenchmarkFig5SLAMonitoring(b *testing.B) {
+	runExp(b, "fig5", []string{"rtt_comm_us", "rtt_checkpoint_us", "procdelay_checkpoint_us"}, func(b *testing.B, m map[string]float64) {
+		// Paper Fig 5: checkpoints idle the network (RTT down) and load
+		// the CPU (processing delay up); drop events appear in both
+		// service and cluster panels; the outside-RNIC event is P2.
+		if m["rtt_checkpoint_us"] >= m["rtt_comm_us"] {
+			b.Fatalf("RTT did not relax during checkpoints: %.1f vs %.1f", m["rtt_checkpoint_us"], m["rtt_comm_us"])
+		}
+		if m["procdelay_checkpoint_us"] < 3*m["procdelay_comm_us"] {
+			b.Fatal("processing delay did not rise during checkpoints")
+		}
+		if m["windows_with_drops_in_both"] < 2 {
+			b.Fatal("switch drop events not visible in both panels")
+		}
+		if m["p2_outside_rnic_reported"] != 1 {
+			b.Fatal("outside-service RNIC problem not assessed as P2")
+		}
+	})
+}
+
+func BenchmarkFig6Localization(b *testing.B) {
+	runExp(b, "fig6", []string{"problems_total", "accuracy_pct", "switch_accuracy_pct", "rnic_accuracy_pct"}, func(b *testing.B, m map[string]float64) {
+		// Paper: 85% of reported problems accurate; high switch accuracy;
+		// CPU-starvation noise filtered instead of surfacing as RNIC
+		// problems.
+		if m["accuracy_pct"] < 75 {
+			b.Fatalf("overall localization accuracy %.0f%% (paper: 85%%)", m["accuracy_pct"])
+		}
+		if m["switch_accuracy_pct"] < 75 {
+			b.Fatalf("switch localization accuracy %.0f%%", m["switch_accuracy_pct"])
+		}
+		if m["cpu_noise_timeouts"] == 0 {
+			b.Fatal("no CPU-overload noise filtered")
+		}
+	})
+}
+
+func BenchmarkFig7AgentOverhead(b *testing.B) {
+	runExp(b, "fig7", []string{"cpu_pct_of_core", "mem_mb_per_agent"}, func(b *testing.B, m map[string]float64) {
+		// Paper: ~3% CPU, ~18.5MB for 8 RNICs. Our software agent is far
+		// lighter than the real verbs stack; the shape claim is
+		// "low single-digit percent and MB-scale memory".
+		if m["cpu_pct_of_core"] > 5 {
+			b.Fatalf("agent CPU %.1f%% of a core", m["cpu_pct_of_core"])
+		}
+		if m["mem_mb_per_agent"] > 50 {
+			b.Fatalf("agent memory %.1f MB", m["mem_mb_per_agent"])
+		}
+	})
+}
+
+func BenchmarkFig8Bottlenecks(b *testing.B) {
+	runExp(b, "fig8", []string{"procdelay_p99_during_us", "rtt_p99_storm_us"}, func(b *testing.B, m map[string]float64) {
+		if m["cpu_overload_flagged"] != 1 {
+			b.Fatal("CPU overload not flagged per host")
+		}
+		if m["pfc_storm_flagged"] != 1 {
+			b.Fatal("PFC storm not flagged per RNIC")
+		}
+		if m["procdelay_p99_during_us"] < 5*m["procdelay_p99_before_us"] {
+			b.Fatal("processing delay did not spike under CPU overload")
+		}
+		if m["rtt_p99_storm_us"] < 5*m["rtt_p99_before_us"] {
+			b.Fatal("P99 RTT did not spike under the PFC storm")
+		}
+	})
+}
+
+func BenchmarkFig9NetworkInnocent(b *testing.B) {
+	runExp(b, "fig9", []string{"thr_first_gbps", "thr_last_gbps", "rtt_last_us"}, func(b *testing.B, m map[string]float64) {
+		// Paper Fig 9: throughput keeps dropping, RTT drops too, delay
+		// stable — network innocent.
+		if m["thr_last_gbps"] > 0.8*m["thr_first_gbps"] {
+			b.Fatal("throughput did not decay")
+		}
+		if m["rtt_last_us"] > m["rtt_first_us"] {
+			b.Fatal("RTT should decrease as the network empties")
+		}
+		if m["network_innocent_windows"] == 0 {
+			b.Fatal("analyzer never declared the network innocent")
+		}
+	})
+}
+
+func BenchmarkFig10Periodicity(b *testing.B) {
+	runExp(b, "fig10", []string{"busy_quiet_ratio", "busy_mean_us", "quiet_mean_us"}, func(b *testing.B, m map[string]float64) {
+		if m["busy_quiet_ratio"] < 2 {
+			b.Fatalf("All2All periodicity invisible: busy/quiet = %.2f", m["busy_quiet_ratio"])
+		}
+		if m["quiet_buckets"] == 0 || m["busy_buckets"] == 0 {
+			b.Fatal("missing phase buckets")
+		}
+	})
+}
+
+func BenchmarkFig11TailRTT(b *testing.B) {
+	runExp(b, "fig11", []string{"allreduce_p99_us", "all2all_p99_us", "all2all_improved_p99_us", "improved_thr_gbps"}, func(b *testing.B, m map[string]float64) {
+		// Paper: All2All congests much more than AllReduce; the improved
+		// CC reduces tail RTT and raises throughput vs DCQCN.
+		if m["all2all_vs_allreduce_p99"] < 3 {
+			b.Fatalf("All2All tail only %.1fx AllReduce", m["all2all_vs_allreduce_p99"])
+		}
+		if m["improved_vs_dcqcn_p99"] > 0.95 {
+			b.Fatalf("improved CC did not cut tail RTT: %.2fx", m["improved_vs_dcqcn_p99"])
+		}
+		if m["improved_thr_gbps"] < m["dcqcn_thr_gbps"] {
+			b.Fatal("improved CC lost throughput vs DCQCN")
+		}
+	})
+}
+
+func BenchmarkFig12RailOptimized(b *testing.B) {
+	runExp(b, "fig12", []string{"healthy_probes_per_window", "rtt_p50_us"}, func(b *testing.B, m map[string]float64) {
+		if m["rail_fault_localized"] != 1 {
+			b.Fatal("rail->spine fault not localized")
+		}
+	})
+}
+
+func BenchmarkFig13CongestionCauses(b *testing.B) {
+	runExp(b, "fig13", []string{"incast_downlink_bytes", "collision_uplink_bytes"}, func(b *testing.B, m map[string]float64) {
+		// Incast congests downlinks only; hash collisions congest uplinks
+		// only.
+		if m["incast_downlink_bytes"] <= 0 || m["incast_uplink_bytes"] > 0 {
+			b.Fatal("incast did not localize to downlinks")
+		}
+		if m["collision_uplink_bytes"] <= 0 || m["collision_downlink_bytes"] > 0 {
+			b.Fatal("hash collision did not localize to uplinks")
+		}
+		if m["incast_flagged_rnics"] == 0 {
+			b.Fatal("incast victims not flagged by high-RTT detection")
+		}
+	})
+}
+
+func BenchmarkTable2Problems(b *testing.B) {
+	runExp(b, "table2", []string{"detected_causes"}, func(b *testing.B, m map[string]float64) {
+		if m["detected_causes"] != 14 {
+			b.Fatalf("detected %v/14 root causes", m["detected_causes"])
+		}
+	})
+}
+
+func BenchmarkLBGuidance(b *testing.B) {
+	runExp(b, "lb-guidance", []string{"queue_before_bytes", "queue_after_bytes", "rerouted"}, func(b *testing.B, m map[string]float64) {
+		// §7.3: rerouting the collided flows via modify_qp must drain the
+		// hot uplink entirely.
+		if m["queue_before_bytes"] < 1<<20 {
+			b.Fatal("collision produced no standing queue")
+		}
+		if m["queue_after_bytes"] != 0 {
+			b.Fatalf("hot uplink still queued after reroute: %v B", m["queue_after_bytes"])
+		}
+		if m["rerouted"] != m["collided_conns"] {
+			b.Fatal("not every collided connection was rerouted")
+		}
+	})
+}
+
+func BenchmarkAblationToRMesh(b *testing.B) {
+	runExp(b, "ablation-tormesh", []string{"with_tormesh_pure", "without_tormesh_pure"}, func(b *testing.B, m map[string]float64) {
+		if m["with_tormesh_pure"] != 1 {
+			b.Fatal("with ToR-mesh, switch candidates should be pure")
+		}
+		if m["without_tormesh_pure"] != 0 {
+			b.Fatal("without ToR-mesh, contamination should appear")
+		}
+	})
+}
+
+func BenchmarkAblationPathTracing(b *testing.B) {
+	runExp(b, "ablation-pathtracing", []string{"continuous_localized", "ondemand_localized"}, func(b *testing.B, m map[string]float64) {
+		if m["continuous_localized"] != 1 || m["ondemand_localized"] != 0 {
+			b.Fatal("path-tracing ablation shape wrong")
+		}
+	})
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	runExp(b, "ablation-aggregation", []string{"tor_aggregate_drop_pct", "dead_server_drop_pct", "alive_server_drop_pct"}, func(b *testing.B, m map[string]float64) {
+		if m["dead_server_drop_pct"] < 60 {
+			b.Fatal("per-server aggregation failed to pinpoint the dead server")
+		}
+		if m["tor_aggregate_drop_pct"] < 30 || m["tor_aggregate_drop_pct"] > 90 {
+			b.Fatal("ToR aggregate should sit misleadingly in between")
+		}
+	})
+}
+
+func BenchmarkAblationCPUFilter(b *testing.B) {
+	runExp(b, "ablation-cpufilter", []string{"filter_on_false_rnic", "filter_off_false_rnic"}, func(b *testing.B, m map[string]float64) {
+		if m["filter_on_false_rnic"] != 0 {
+			b.Fatal("filter on: false positives leaked")
+		}
+		if m["filter_off_false_rnic"] == 0 {
+			b.Fatal("filter off: expected the paper's false positives")
+		}
+	})
+}
+
+func BenchmarkExtDiagnosis(b *testing.B) {
+	runExp(b, "ext-diagnosis", []string{"correct", "cases"}, func(b *testing.B, m map[string]float64) {
+		if m["correct"] != m["cases"] {
+			b.Fatalf("root-cause diagnosis got %v/%v", m["correct"], m["cases"])
+		}
+	})
+}

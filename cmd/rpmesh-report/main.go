@@ -1,0 +1,47 @@
+// Command rpmesh-report regenerates every experiment in paper order and
+// emits a Markdown report — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rpmesh-report [-seed N] > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"rpingmesh/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	fmt.Printf("# R-Pingmesh reproduction report (seed %d)\n", *seed)
+	start := time.Now()
+	for _, e := range experiments.All() {
+		t0 := time.Now()
+		rep := e.Run(*seed)
+		fmt.Printf("\n## %s — %s\n\n", rep.ID, e.Title)
+		fmt.Println("```")
+		for _, l := range rep.Lines {
+			fmt.Println(l)
+		}
+		fmt.Println("```")
+		keys := make([]string, 0, len(rep.Metrics))
+		for k := range rep.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println()
+		fmt.Println("| metric | value |")
+		fmt.Println("|---|---|")
+		for _, k := range keys {
+			fmt.Printf("| %s | %.4g |\n", k, rep.Metrics[k])
+		}
+		fmt.Printf("\n_(ran in %v)_\n", time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\n---\ntotal runtime %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,70 @@
+// Command rpmesh runs the R-Pingmesh reproduction experiments: every
+// table and figure of the paper regenerated from the simulated cluster.
+//
+// Usage:
+//
+//	rpmesh list                 # list experiment IDs
+//	rpmesh run [-seed N] <id>…  # run selected experiments
+//	rpmesh all  [-seed N]       # run everything in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpingmesh/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+	case "run", "all":
+		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
+		seed := fs.Int64("seed", 1, "simulation seed")
+		_ = fs.Parse(os.Args[2:])
+		ids := fs.Args()
+		if os.Args[1] == "all" {
+			ids = ids[:0]
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		}
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "rpmesh run: no experiment IDs given (try `rpmesh list`)")
+			os.Exit(2)
+		}
+		for _, id := range ids {
+			exp, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rpmesh: unknown experiment %q (try `rpmesh list`)\n", id)
+				os.Exit(2)
+			}
+			fmt.Println(exp.Run(*seed))
+		}
+	default:
+		// Bare IDs run directly with the default seed.
+		for _, id := range os.Args[1:] {
+			exp, ok := experiments.ByID(id)
+			if !ok {
+				usage()
+				os.Exit(2)
+			}
+			fmt.Println(exp.Run(1))
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rpmesh list                 list experiments
+  rpmesh run [-seed N] <id>…  run selected experiments
+  rpmesh all  [-seed N]       run everything`)
+}

@@ -1,0 +1,91 @@
+// Fault drill: inject each of the paper's 14 root causes (Table 2) into
+// a fresh cluster and show what R-Pingmesh reports.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpingmesh"
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/watchdog"
+)
+
+func main() {
+	for cause := faultgen.FlappingPort; cause <= faultgen.PCIeMisconfig; cause++ {
+		fmt.Printf("#%-2d %-24s [%s]\n", int(cause), cause, faultgen.CategoryOf(cause))
+		drill(cause)
+		fmt.Println()
+	}
+}
+
+func drill(cause faultgen.Cause) {
+	tp, err := rpingmesh.BuildClos(rpingmesh.ClosConfig{
+		Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 4,
+		HostsPerToR: 2, RNICsPerHost: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := rpingmesh.New(rpingmesh.Config{Topology: tp, Seed: int64(cause)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.StartAgents()
+	wd := rpingmesh.NewWatchdog(cluster, rpingmesh.WatchdogConfig{})
+	wd.Start()
+	cluster.Run(45 * rpingmesh.Second)
+
+	in := rpingmesh.NewInjector(cluster, int64(cause))
+	f := rpingmesh.Fault{Cause: cause}
+	victim := tp.RNICsUnderToR("tor-0-0")[0]
+	switch cause {
+	case faultgen.HostDown, faultgen.CPUOverload:
+		f.Host = tp.RNICs[victim].Host
+		if cause == faultgen.CPUOverload {
+			f.Severity = 0.99
+		}
+	case faultgen.PFCDeadlock, faultgen.PFCHeadroomMisconfig,
+		faultgen.UnevenLoadBalance, faultgen.ServiceInterference:
+		f.Link = tp.LinkBetween("tor-0-0", "agg-0-0")
+	default:
+		f.Dev = victim
+	}
+	if _, err := in.Inject(f); err != nil {
+		log.Fatalf("inject %v: %v", cause, err)
+	}
+	if cause == faultgen.PFCHeadroomMisconfig {
+		// Headroom misconfig only drops under heavy congestion.
+		if _, err := in.Inject(rpingmesh.Fault{
+			Cause: faultgen.UnevenLoadBalance, Link: f.Link, Severity: 4,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cluster.Run(75 * rpingmesh.Second)
+
+	seen := map[string]bool{}
+	for _, d := range wd.Diagnose(cluster.Analyzer.Problems()) {
+		p := d.Problem
+		where := string(p.Device)
+		if where == "" {
+			where = string(p.Host)
+		}
+		if p.Kind == analyzer.ProblemSwitchLink {
+			l := cluster.Topo.Links[p.Link]
+			where = fmt.Sprintf("%s->%s", l.From, l.To)
+		}
+		key := fmt.Sprintf("    detected: %-16s at %-24s priority %s", p.Kind, where, p.Priority)
+		if d.Cause != watchdog.CauseUnknown || p.Kind == analyzer.ProblemRNIC {
+			key += fmt.Sprintf("  root cause: %s", d.Cause)
+		}
+		if !seen[key] {
+			seen[key] = true
+			fmt.Println(key)
+		}
+	}
+	if len(seen) == 0 {
+		fmt.Println("    (nothing detected)")
+	}
+}

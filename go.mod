@@ -1,0 +1,3 @@
+module rpingmesh
+
+go 1.24

@@ -1,0 +1,805 @@
+// Package agent implements the R-Pingmesh Agent (§4.2): the per-host
+// service that probes the cluster with UD QPs, responds to probes from
+// other Agents, monitors service-flow 5-tuples through the verbs tracer,
+// traces probe paths, and uploads everything to the Analyzer.
+//
+// Per RNIC the Agent runs the paper's four logical workers — ToR-mesh
+// probing, inter-ToR probing, service-tracing probing, and responding —
+// as event-loop tickers and completion handlers.
+//
+// The measurement protocol is Figure 4's, executed with nothing but CQE
+// timestamps and two application timestamps:
+//
+//	① prober app posts the probe            (host clock)
+//	② prober RNIC puts it on the wire       (send CQE, device clock)
+//	③ responder RNIC receives it            (recv CQE, device clock)
+//	④ responder RNIC sends ACK1             (send CQE, device clock)
+//	⑤ prober RNIC receives ACK1            (recv CQE, device clock)
+//	⑥ prober app processes ACK1            (host clock)
+//
+// ACK2 carries ④-③ (the responder processing delay) in its payload, since
+// the responder only learns ④ after ACK1 is on the wire. The prober then
+// computes NetworkRTT = (⑤-②)-(④-③) and ProberDelay = (⑥-①)-(⑤-②),
+// with no clock synchronized to any other.
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/rnic"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+	"rpingmesh/internal/trace"
+	"rpingmesh/internal/verbs"
+)
+
+// Config carries the Agent's running parameters; zero values take the
+// paper's deployment settings (§5).
+type Config struct {
+	ProbeTimeout         sim.Time // 500 ms
+	UploadInterval       sim.Time // 5 s
+	PinglistRefresh      sim.Time // 5 min
+	ServiceProbeInterval sim.Time // 10 ms
+	CommInfoRefresh      sim.Time // 5 min
+	// PathTraceInterval is how often each probed tuple's path (and its
+	// ACK's path) is re-traced.
+	PathTraceInterval sim.Time // 10 s
+
+	// OnDemandTracing disables continuous path tracing and traces only
+	// when a probe times out. The paper rejects this design (§4.2.3): in
+	// a persistent failure the trace stops at the dead hop (or the
+	// replayed packets rehash elsewhere), so localization starves. Kept
+	// for the ablation benchmark.
+	OnDemandTracing bool
+
+	// OneWayIntraHost enables §7.4's rail-optimized refinement: when a
+	// probe targets another RNIC of the SAME host, both QPs belong to
+	// this Agent, so the responder need not send ACKs — the Agent
+	// observes the receive CQE directly, detecting one-way timeouts and
+	// measuring one-way delay against its own calibration of the two
+	// device clocks. core enables it automatically on rail topologies.
+	OneWayIntraHost bool
+
+	// MaxBufferedResults bounds the local result cache between uploads
+	// (the Fig-7 memory budget). When the Analyzer is unreachable long
+	// enough to hit the cap, the oldest results are dropped and counted.
+	// Defaults to 100000 (~minutes of probing).
+	MaxBufferedResults int
+}
+
+func (c *Config) setDefaults() {
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * sim.Millisecond
+	}
+	if c.UploadInterval <= 0 {
+		c.UploadInterval = 5 * sim.Second
+	}
+	if c.PinglistRefresh <= 0 {
+		c.PinglistRefresh = 5 * sim.Minute
+	}
+	if c.ServiceProbeInterval <= 0 {
+		c.ServiceProbeInterval = 10 * sim.Millisecond
+	}
+	if c.CommInfoRefresh <= 0 {
+		c.CommInfoRefresh = 5 * sim.Minute
+	}
+	if c.PathTraceInterval <= 0 {
+		c.PathTraceInterval = 10 * sim.Second
+	}
+	if c.MaxBufferedResults <= 0 {
+		c.MaxBufferedResults = 100000
+	}
+}
+
+// Agent is the per-host R-Pingmesh service.
+type Agent struct {
+	eng    *sim.Engine
+	host   *rnic.Host
+	stack  *verbs.Stack
+	ctrl   proto.Controller
+	sink   proto.UploadSink
+	tracer trace.PathTracer
+	cfg    Config
+	rng    *rand.Rand
+
+	rnics map[topo.DeviceID]*rnicState
+
+	seq      uint64
+	wrid     uint64
+	inflight map[uint64]*inflightProbe
+	pending  map[uint64]*pendingResponse // responder state keyed by WRID
+
+	results []proto.ProbeResult
+	paths   map[pathKey]*tracedPath
+
+	// clockBase holds each local device's clock reading captured at one
+	// calibration instant; differences between entries are the intra-host
+	// clock offsets used by one-way probing.
+	clockBase map[topo.DeviceID]sim.Time
+
+	tickers []stopper
+	started bool
+
+	// starved models the Fig-6 false-positive condition: the service
+	// occupies the Agent's CPU so responses stall past the prober's
+	// timeout.
+	starved bool
+
+	// Stats counts Agent work for the overhead evaluation (Fig 7).
+	Stats Stats
+}
+
+// Stats aggregates Agent-side counters.
+type Stats struct {
+	ProbesSent     int64
+	ProbesAnswered int64
+	OneWayProbes   int64
+	Timeouts       int64
+	Uploads        int64
+	Traces         int64
+	// ResultsDropped counts results shed at the buffer cap while the
+	// Analyzer was unreachable.
+	ResultsDropped int64
+}
+
+type stopper interface{ Stop() }
+
+type rnicState struct {
+	dev  *rnic.Device
+	qp   *rnic.QP
+	info proto.RNICInfo
+
+	lists map[proto.ProbeKind]*pinglistState
+
+	// Service-tracing pinglist, keyed by the connection tuple.
+	service      map[ecmp.FiveTuple]proto.PingTarget
+	serviceOrder []ecmp.FiveTuple // shuffled each pass (§7.3)
+	serviceNext  int
+}
+
+type pinglistState struct {
+	list   proto.Pinglist
+	next   int
+	ticker *sim.Ticker
+}
+
+type inflightProbe struct {
+	seq  uint64
+	kind proto.ProbeKind
+	rs   *rnicState
+	tgt  proto.PingTarget
+
+	tuple ecmp.FiveTuple
+	t1    sim.Time // ① host clock
+	t2    sim.Time // ② prober device clock
+	have2 bool
+	t5    sim.Time // ⑤ prober device clock
+	have5 bool
+	t6    sim.Time // ⑥ host clock
+	have6 bool
+	resp  sim.Time // ④-③ from ACK2
+	haveR bool
+
+	// One-way (intra-host) probes: ③ on the destination device's clock.
+	oneWay bool
+	t3     sim.Time
+	have3  bool
+
+	timeout sim.Handle
+}
+
+type pendingResponse struct {
+	seq   uint64
+	t3    sim.Time // ③ responder device clock
+	rs    *rnicState
+	tuple ecmp.FiveTuple // the probe's tuple
+	src   struct {
+		gid string
+		qpn rnic.QPN
+	}
+}
+
+type pathKey struct {
+	dev   topo.DeviceID
+	tuple ecmp.FiveTuple
+}
+
+type tracedPath struct {
+	links    []topo.LinkID
+	tracedAt sim.Time
+	valid    bool
+}
+
+// New creates an Agent for a host. The verbs stack provides the devices
+// and the modify_qp/destroy_qp trace hook; ctrl and sink are the
+// Controller and Analyzer endpoints; tracer is the path-tracing backend.
+func New(eng *sim.Engine, stack *verbs.Stack, ctrl proto.Controller, sink proto.UploadSink, tracer trace.PathTracer, cfg Config) *Agent {
+	cfg.setDefaults()
+	a := &Agent{
+		eng:      eng,
+		host:     stack.Host(),
+		stack:    stack,
+		ctrl:     ctrl,
+		sink:     sink,
+		tracer:   tracer,
+		cfg:      cfg,
+		rng:      eng.SubRand("agent/" + string(stack.Host().ID())),
+		rnics:    make(map[topo.DeviceID]*rnicState),
+		inflight: make(map[uint64]*inflightProbe),
+		pending:  make(map[uint64]*pendingResponse),
+		paths:    make(map[pathKey]*tracedPath),
+	}
+	stack.RegisterTracer(a)
+	return a
+}
+
+// Host returns the host this agent runs on.
+func (a *Agent) Host() *rnic.Host { return a.host }
+
+// SetStarved toggles the CPU-starvation condition (service occupies the
+// Agent's CPU; §6's 30 false-positive RNIC problems).
+func (a *Agent) SetStarved(s bool) { a.starved = s }
+
+// Start creates the probing/responding UD QP on every RNIC, registers the
+// communication info with the Controller, pulls pinglists, and starts the
+// periodic workers.
+func (a *Agent) Start() error {
+	if a.started {
+		return fmt.Errorf("agent %s already started", a.host.ID())
+	}
+	a.started = true
+	var infos []proto.RNICInfo
+	for _, dev := range a.host.Devices() {
+		rs := &rnicState{
+			dev:     dev,
+			qp:      dev.CreateQP(rnic.UD),
+			lists:   make(map[proto.ProbeKind]*pinglistState),
+			service: make(map[ecmp.FiveTuple]proto.PingTarget),
+		}
+		rs.info = proto.RNICInfo{
+			Dev: dev.ID(), Host: a.host.ID(), IP: dev.IP(), GID: dev.GID(), QPN: rs.qp.QPN(),
+		}
+		rs.qp.OnCompletion(a.completionHandler(rs))
+		a.rnics[dev.ID()] = rs
+		infos = append(infos, rs.info)
+
+		// Service-tracing worker: one ticker per RNIC, pausing itself
+		// when the pinglist is empty (§4.2.2).
+		rsCopy := rs
+		a.track(a.eng.Every(a.cfg.ServiceProbeInterval, a.cfg.ServiceProbeInterval, func() {
+			a.serviceProbeTick(rsCopy)
+		}))
+	}
+	// Calibrate intra-host clock offsets: all local device clocks read at
+	// the same instant (real agents approximate this with back-to-back
+	// clock queries; the error is sub-µs).
+	a.clockBase = make(map[topo.DeviceID]sim.Time, len(a.rnics))
+	for dev, rs := range a.rnics {
+		a.clockBase[dev] = rs.dev.ReadClock()
+	}
+
+	a.ctrl.Register(infos)
+	a.refreshPinglists()
+
+	a.track(a.eng.Every(a.cfg.UploadInterval, a.cfg.UploadInterval, a.upload))
+	a.track(a.eng.Every(a.cfg.PinglistRefresh, a.cfg.PinglistRefresh, a.refreshPinglists))
+	a.track(a.eng.Every(a.cfg.CommInfoRefresh, a.cfg.CommInfoRefresh, a.refreshServiceInfo))
+	return nil
+}
+
+func (a *Agent) track(t *sim.Ticker) { a.tickers = append(a.tickers, t) }
+
+// Stop halts all periodic work and destroys the probing QPs.
+func (a *Agent) Stop() {
+	for _, t := range a.tickers {
+		t.Stop()
+	}
+	a.tickers = nil
+	for _, rs := range a.rnics {
+		for _, pls := range rs.lists {
+			if pls.ticker != nil {
+				pls.ticker.Stop()
+			}
+		}
+		rs.dev.DestroyQP(rs.qp.QPN())
+	}
+	for _, inf := range a.inflight {
+		inf.timeout.Cancel()
+	}
+	a.inflight = make(map[uint64]*inflightProbe)
+	a.rnics = make(map[topo.DeviceID]*rnicState)
+	a.started = false
+}
+
+// Restart models a host reboot / agent restart: all QPs are recreated
+// with fresh QPNs and the new communication info is re-registered — the
+// source of QPN-reset probe noise for other Agents (§4.3.1).
+func (a *Agent) Restart() error {
+	a.Stop()
+	return a.Start()
+}
+
+// RefreshPinglists pulls pinglists from the Controller immediately, out
+// of band of the periodic refresh (deployment tooling uses this right
+// after a fleet-wide rollout so Agents see each other without waiting out
+// the refresh interval).
+func (a *Agent) RefreshPinglists() { a.refreshPinglists() }
+
+// refreshPinglists pulls the latest ToR-mesh and inter-ToR pinglists from
+// the Controller (every 5 min) and re-arms the probing tickers.
+func (a *Agent) refreshPinglists() {
+	lists := a.ctrl.Pinglists(a.host.ID())
+	seen := make(map[topo.DeviceID]map[proto.ProbeKind]bool)
+	for _, pl := range lists {
+		rs, ok := a.rnics[pl.Src]
+		if !ok {
+			continue
+		}
+		if seen[pl.Src] == nil {
+			seen[pl.Src] = make(map[proto.ProbeKind]bool)
+		}
+		seen[pl.Src][pl.Kind] = true
+		cur, exists := rs.lists[pl.Kind]
+		if exists {
+			cur.list = pl
+			if cur.next >= len(pl.Targets) {
+				cur.next = 0
+			}
+			cur.ticker.Stop()
+		} else {
+			cur = &pinglistState{list: pl}
+			rs.lists[pl.Kind] = cur
+		}
+		rsCopy, curCopy := rs, cur
+		cur.ticker = a.eng.Every(cur.list.Interval, cur.list.Interval, func() {
+			a.pinglistTick(rsCopy, curCopy)
+		})
+	}
+	// Drop lists the Controller no longer issues.
+	for dev, rs := range a.rnics {
+		for kind, pls := range rs.lists {
+			if seen[dev] == nil || !seen[dev][kind] {
+				pls.ticker.Stop()
+				delete(rs.lists, kind)
+			}
+		}
+	}
+}
+
+func (a *Agent) pinglistTick(rs *rnicState, pls *pinglistState) {
+	if len(pls.list.Targets) == 0 {
+		return
+	}
+	tgt := pls.list.Targets[pls.next%len(pls.list.Targets)]
+	pls.next++
+	a.probe(rs, pls.list.Kind, tgt)
+}
+
+// serviceProbeTick fires one service-tracing probe, shuffling the
+// pinglist at the start of each pass so hotspots cannot hide between
+// periodic traffic bursts (§7.3).
+func (a *Agent) serviceProbeTick(rs *rnicState) {
+	if len(rs.service) == 0 {
+		return
+	}
+	if rs.serviceNext >= len(rs.serviceOrder) {
+		rs.serviceOrder = rs.serviceOrder[:0]
+		for tuple := range rs.service {
+			rs.serviceOrder = append(rs.serviceOrder, tuple)
+		}
+		// Deterministic order before shuffling (map iteration is random).
+		sortTuples(rs.serviceOrder)
+		a.rng.Shuffle(len(rs.serviceOrder), func(i, j int) {
+			rs.serviceOrder[i], rs.serviceOrder[j] = rs.serviceOrder[j], rs.serviceOrder[i]
+		})
+		rs.serviceNext = 0
+	}
+	tuple := rs.serviceOrder[rs.serviceNext]
+	rs.serviceNext++
+	tgt, ok := rs.service[tuple]
+	if !ok {
+		return // closed between shuffle and tick
+	}
+	a.probe(rs, proto.ServiceTracing, tgt)
+}
+
+// probe launches one Fig-4 probe at the target.
+func (a *Agent) probe(rs *rnicState, kind proto.ProbeKind, tgt proto.PingTarget) {
+	a.seq++
+	seq := a.seq
+	tuple := ecmp.RoCETuple(rs.dev.IP(), tgt.Dst.IP, tgt.SrcPort)
+	inf := &inflightProbe{
+		seq: seq, kind: kind, rs: rs, tgt: tgt, tuple: tuple,
+		t1: a.host.ReadClock(), // ①
+	}
+	payload := encodeProbe(seq)
+	if a.cfg.OneWayIntraHost && tgt.Dst.Host == a.host.ID() {
+		if _, local := a.rnics[tgt.Dst.Dev]; local {
+			inf.oneWay = true
+			payload = encodeOneWay(seq)
+			a.Stats.OneWayProbes++
+		}
+	}
+	a.inflight[seq] = inf
+	a.Stats.ProbesSent++
+
+	if !a.cfg.OnDemandTracing {
+		a.tracePaths(rs, tgt, tuple, inf.oneWay)
+	}
+
+	err := rs.qp.PostSend(rnic.SendRequest{
+		WRID:    probeWRID(seq),
+		SrcPort: tgt.SrcPort,
+		DstIP:   tgt.Dst.IP,
+		DstGID:  tgt.Dst.GID,
+		DstQPN:  tgt.Dst.QPN,
+		Payload: payload,
+	})
+	if err != nil {
+		// QP unusable (e.g. mid-restart): report as timeout immediately.
+		delete(a.inflight, seq)
+		a.finishTimeout(inf)
+		return
+	}
+	inf.timeout = a.eng.After(a.cfg.ProbeTimeout, func() {
+		if _, live := a.inflight[seq]; !live {
+			return
+		}
+		// If both ACKs already reached the RNIC, the probe did not time
+		// out on the wire — the Agent process is just slow to handle the
+		// CQEs (e.g. CPU starvation); the pending ⑥ handler will finish
+		// it with an honest (large) prober delay.
+		if inf.have2 && inf.have5 && inf.haveR {
+			return
+		}
+		delete(a.inflight, seq)
+		if a.cfg.OnDemandTracing {
+			// The rejected design: trace only now that the probe failed.
+			// With the fault still present the trace dies at the broken
+			// hop and yields nothing usable.
+			a.tracePaths(rs, tgt, tuple, inf.oneWay)
+		}
+		a.finishTimeout(inf)
+	})
+}
+
+// tracePaths refreshes the cached traced path of the probe tuple and of
+// its ACK tuple if stale (§4.2.3: continuous tracing, bounded frequency).
+// One-way probes have no ACK to trace.
+func (a *Agent) tracePaths(rs *rnicState, tgt proto.PingTarget, tuple ecmp.FiveTuple, oneWay bool) {
+	a.traceOne(pathKey{dev: rs.dev.ID(), tuple: tuple}, rs.dev.ID())
+	if oneWay {
+		return
+	}
+	ack := ecmp.RoCETuple(tgt.Dst.IP, rs.dev.IP(), tgt.SrcPort)
+	a.traceOne(pathKey{dev: tgt.Dst.Dev, tuple: ack}, tgt.Dst.Dev)
+}
+
+func (a *Agent) traceOne(key pathKey, from topo.DeviceID) {
+	tp, ok := a.paths[key]
+	if ok && a.eng.Now()-tp.tracedAt < a.cfg.PathTraceInterval {
+		return
+	}
+	if !ok {
+		tp = &tracedPath{}
+		a.paths[key] = tp
+	}
+	tp.tracedAt = a.eng.Now()
+	if a.tracer == nil {
+		return
+	}
+	a.Stats.Traces++
+	res, err := a.tracer.TracePath(from, key.tuple)
+	if err != nil {
+		return
+	}
+	if res.Complete {
+		tp.links = res.Links()
+		tp.valid = true
+	}
+	// Incomplete traces keep the previous complete path (§4.2.3: in a
+	// persistent failure, replayed paths rehash and mislead).
+}
+
+func (a *Agent) cachedPath(dev topo.DeviceID, tuple ecmp.FiveTuple) []topo.LinkID {
+	if tp, ok := a.paths[pathKey{dev: dev, tuple: tuple}]; ok && tp.valid {
+		return tp.links
+	}
+	return nil
+}
+
+// completionHandler dispatches CQEs for one RNIC's probing/responding QP.
+func (a *Agent) completionHandler(rs *rnicState) func(rnic.CQE) {
+	return func(c rnic.CQE) {
+		switch c.Type {
+		case rnic.CQESend:
+			a.onSendCQE(rs, c)
+		case rnic.CQERecv:
+			a.onRecvCQE(rs, c)
+		}
+	}
+}
+
+// Probe work requests and responder (ACK) work requests live in disjoint
+// WRID spaces: probes are even, responder sends are odd.
+func probeWRID(seq uint64) uint64 { return seq << 1 }
+func ackWRID(n uint64) uint64     { return n<<1 | 1 }
+func isAckWRID(w uint64) bool     { return w&1 == 1 }
+func wridPayload(w uint64) uint64 { return w >> 1 }
+
+func (a *Agent) onSendCQE(rs *rnicState, c rnic.CQE) {
+	if !isAckWRID(c.WRID) {
+		if inf, ok := a.inflight[wridPayload(c.WRID)]; ok && !inf.have2 {
+			// ② — the probe hit the wire.
+			inf.t2 = c.Timestamp
+			inf.have2 = true
+			if inf.oneWay {
+				a.maybeFinishOneWay(nil, inf)
+			} else {
+				a.maybeFinish(inf)
+			}
+		}
+		return
+	}
+	if pr, ok := a.pending[wridPayload(c.WRID)]; ok {
+		// ④ — ACK1 hit the wire; now the responder knows its processing
+		// delay and ships it in ACK2.
+		delete(a.pending, wridPayload(c.WRID))
+		delay := c.Timestamp - pr.t3
+		a.wrid++
+		_ = rs.qp.PostSend(rnic.SendRequest{
+			WRID:    ackWRID(a.wrid),
+			SrcPort: pr.tuple.SrcPort, // mimic RC ACK source port
+			DstIP:   pr.tuple.SrcIP,
+			DstGID:  pr.src.gid,
+			DstQPN:  pr.src.qpn,
+			Payload: encodeAck2(pr.seq, delay),
+		})
+	}
+}
+
+func (a *Agent) onRecvCQE(rs *rnicState, c rnic.CQE) {
+	typ, seq, respDelay, err := decodePayload(c.Payload)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case msgProbe:
+		a.respond(rs, c, seq)
+	case msgOneWay:
+		// The destination QP is ours: record ③ directly, no ACKs (§7.4).
+		inf, ok := a.inflight[seq]
+		if !ok {
+			return
+		}
+		inf.t3 = c.Timestamp
+		inf.have3 = true
+		a.maybeFinishOneWay(rs, inf)
+	case msgAck1:
+		inf, ok := a.inflight[seq]
+		if !ok {
+			return
+		}
+		inf.t5 = c.Timestamp // ⑤
+		inf.have5 = true
+		// ⑥ is an application timestamp: it exists only after the Agent
+		// process actually handles the completion.
+		a.eng.After(a.appDelay(), func() {
+			inf.t6 = a.host.ReadClock()
+			inf.have6 = true
+			a.maybeFinish(inf)
+		})
+	case msgAck2:
+		inf, ok := a.inflight[seq]
+		if !ok {
+			return
+		}
+		inf.resp = respDelay
+		inf.haveR = true
+		a.maybeFinish(inf)
+	}
+}
+
+// respond implements the responder role: ACK1 immediately (well, after
+// the app wakes up), ACK2 after ACK1's send CQE reveals ④.
+func (a *Agent) respond(rs *rnicState, c rnic.CQE, seq uint64) {
+	pr := &pendingResponse{seq: seq, t3: c.Timestamp, rs: rs, tuple: c.Tuple}
+	pr.src.gid = c.SrcGID
+	pr.src.qpn = c.SrcQPN
+	a.eng.After(a.appDelay(), func() {
+		a.wrid++
+		a.pending[a.wrid] = pr
+		a.Stats.ProbesAnswered++
+		_ = rs.qp.PostSend(rnic.SendRequest{
+			WRID:    ackWRID(a.wrid),
+			SrcPort: c.Tuple.SrcPort,
+			DstIP:   c.Tuple.SrcIP,
+			DstGID:  c.SrcGID,
+			DstQPN:  c.SrcQPN,
+			Payload: encodeAck1(seq),
+		})
+	})
+}
+
+// appDelay is the application-level scheduling delay before the Agent
+// reacts to a CQE. Under CPU starvation it stretches past the probe
+// timeout, which is exactly how the paper's false-positive "RNIC drops"
+// arise (§6).
+func (a *Agent) appDelay() sim.Time {
+	d := a.host.ProcessingDelay()
+	if a.starved {
+		d += sim.Time(float64(a.cfg.ProbeTimeout) * (0.6 + 2.4*a.rng.Float64()))
+	}
+	return d
+}
+
+// maybeFinishOneWay completes a §7.4 intra-host probe once both the send
+// CQE (②, source device clock) and the receive CQE (③, destination
+// device clock) are in: one-way delay = (③ - base_dst) - (② - base_src).
+func (a *Agent) maybeFinishOneWay(_ *rnicState, inf *inflightProbe) {
+	if !(inf.have2 && inf.have3) {
+		return
+	}
+	if _, live := a.inflight[inf.seq]; !live {
+		return
+	}
+	delete(a.inflight, inf.seq)
+	inf.timeout.Cancel()
+	oneWay := (inf.t3 - a.clockBase[inf.tgt.Dst.Dev]) - (inf.t2 - a.clockBase[inf.rs.dev.ID()])
+	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
+		r.OneWay = true
+		r.OneWayDelay = oneWay
+		// NetworkRTT keeps its usual meaning for the Analyzer's SLA
+		// aggregation: the round-trip equivalent.
+		r.NetworkRTT = 2 * oneWay
+	}))
+}
+
+func (a *Agent) maybeFinish(inf *inflightProbe) {
+	if !(inf.have2 && inf.have5 && inf.have6 && inf.haveR) {
+		return
+	}
+	if _, live := a.inflight[inf.seq]; !live {
+		return
+	}
+	delete(a.inflight, inf.seq)
+	inf.timeout.Cancel()
+
+	rtt := (inf.t5 - inf.t2) - inf.resp
+	prober := (inf.t6 - inf.t1) - (inf.t5 - inf.t2)
+	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
+		r.NetworkRTT = rtt
+		r.ProberDelay = prober
+		r.ResponderDelay = inf.resp
+	}))
+}
+
+func (a *Agent) finishTimeout(inf *inflightProbe) {
+	a.Stats.Timeouts++
+	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
+		r.Timeout = true
+	}))
+}
+
+func (a *Agent) baseResult(inf *inflightProbe, fill func(*proto.ProbeResult)) proto.ProbeResult {
+	ackTuple := ecmp.RoCETuple(inf.tgt.Dst.IP, inf.rs.dev.IP(), inf.tgt.SrcPort)
+	r := proto.ProbeResult{
+		Seq:       inf.seq,
+		Kind:      inf.kind,
+		SrcDev:    inf.rs.dev.ID(),
+		SrcHost:   a.host.ID(),
+		DstDev:    inf.tgt.Dst.Dev,
+		DstHost:   inf.tgt.Dst.Host,
+		SrcIP:     inf.rs.dev.IP(),
+		DstIP:     inf.tgt.Dst.IP,
+		SrcPort:   inf.tgt.SrcPort,
+		DstQPN:    inf.tgt.Dst.QPN,
+		SentAt:    inf.t1,
+		ProbePath: a.cachedPath(inf.rs.dev.ID(), inf.tuple),
+		AckPath:   a.cachedPath(inf.tgt.Dst.Dev, ackTuple),
+	}
+	fill(&r)
+	return r
+}
+
+// record buffers one result, shedding the oldest beyond the memory cap.
+func (a *Agent) record(r proto.ProbeResult) {
+	if len(a.results) >= a.cfg.MaxBufferedResults {
+		shed := len(a.results) - a.cfg.MaxBufferedResults + 1
+		a.results = append(a.results[:0], a.results[shed:]...)
+		a.Stats.ResultsDropped += int64(shed)
+	}
+	a.results = append(a.results, r)
+}
+
+// upload ships buffered results to the Analyzer (every 5 s). A down host
+// uploads nothing — which is itself the Analyzer's host-down signal.
+func (a *Agent) upload() {
+	if a.host.Down() {
+		return
+	}
+	batch := proto.UploadBatch{Host: a.host.ID(), Sent: a.eng.Now(), Results: a.results}
+	a.results = nil
+	a.Stats.Uploads++
+	a.sink.Upload(batch)
+}
+
+// PendingResults reports the number of buffered, not-yet-uploaded results
+// (memory footprint driver, Fig 7).
+func (a *Agent) PendingResults() int { return len(a.results) }
+
+// InflightProbes reports the number of probes awaiting ACKs or timeout.
+func (a *Agent) InflightProbes() int { return len(a.inflight) }
+
+// --- Service tracing (verbs.Tracer implementation, §4.2.2) -------------
+
+// QPModified implements verbs.Tracer: a service RC connection was
+// established on this host. The Agent resolves the destination RNIC's
+// communication info from the Controller and adds a service-tracing
+// pinglist entry that copies the connection's 5-tuple.
+func (a *Agent) QPModified(ev verbs.ConnEvent) {
+	rs, ok := a.rnics[ev.LocalDev]
+	if !ok {
+		return
+	}
+	info, ok := a.ctrl.Lookup(ev.Tuple.DstIP)
+	if !ok {
+		return // destination host runs no Agent
+	}
+	rs.service[ev.Tuple] = proto.PingTarget{Dst: info, SrcPort: ev.Tuple.SrcPort}
+}
+
+// QPDestroyed implements verbs.Tracer: the connection closed, so its
+// pinglist entry is removed; with no connections left, service tracing on
+// this RNIC pauses by itself.
+func (a *Agent) QPDestroyed(ev verbs.ConnEvent) {
+	rs, ok := a.rnics[ev.LocalDev]
+	if !ok {
+		return
+	}
+	delete(rs.service, ev.Tuple)
+}
+
+// refreshServiceInfo re-resolves the communication info of every
+// service-tracing target (every 5 min), picking up QPN changes.
+func (a *Agent) refreshServiceInfo() {
+	for _, rs := range a.rnics {
+		for tuple, tgt := range rs.service {
+			if info, ok := a.ctrl.Lookup(tuple.DstIP); ok {
+				tgt.Dst = info
+				rs.service[tuple] = tgt
+			}
+		}
+	}
+}
+
+// ServiceTargets reports the service-tracing pinglist size of one RNIC.
+func (a *Agent) ServiceTargets(dev topo.DeviceID) int {
+	if rs, ok := a.rnics[dev]; ok {
+		return len(rs.service)
+	}
+	return 0
+}
+
+// ProbingQPN returns the current probing QPN of one of this agent's
+// RNICs (tests use it to verify QPN-reset behaviour).
+func (a *Agent) ProbingQPN(dev topo.DeviceID) (rnic.QPN, bool) {
+	rs, ok := a.rnics[dev]
+	if !ok {
+		return 0, false
+	}
+	return rs.qp.QPN(), true
+}
+
+func sortTuples(ts []ecmp.FiveTuple) {
+	// Insertion sort by string key: lists are small (one entry per
+	// service connection on the RNIC).
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].String() < ts[j-1].String(); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package analyzer
+
+import (
+	"sort"
+
+	"rpingmesh/internal/topo"
+)
+
+// Algorithm 1 of the paper: identify the most suspicious switch links by
+// voting. Derived from binary network tomography: traverse the paths of
+// anomalous probes (and of their ACKs), count how many anomalous paths
+// cross each link, and the links with the highest count are the most
+// suspicious.
+
+// LinkVote is one voting outcome.
+type LinkVote struct {
+	Link  topo.LinkID
+	Votes int
+}
+
+// DetectAbnormalLinks runs Algorithm 1 over the paths of anomalous probes
+// and returns every link sharing the highest vote count (ties are all
+// suspicious), sorted by link ID for determinism.
+func DetectAbnormalLinks(paths [][]topo.LinkID) []LinkVote {
+	votes := make(map[topo.LinkID]int)
+	for _, path := range paths {
+		for _, link := range path {
+			votes[link]++
+		}
+	}
+	return topVotes(votes)
+}
+
+// DetectAbnormalSwitches is the footnote-5 variant: replacing "link" with
+// "switch" localizes the device instead of the cable. Each path votes for
+// every switch it traverses (at most once per path).
+func DetectAbnormalSwitches(tp *topo.Topology, paths [][]topo.LinkID) []SwitchVote {
+	votes := make(map[topo.DeviceID]int)
+	for _, path := range paths {
+		seen := make(map[topo.DeviceID]bool)
+		for _, link := range path {
+			if int(link) < 0 || int(link) >= len(tp.Links) {
+				continue
+			}
+			for _, end := range []topo.DeviceID{tp.Links[link].From, tp.Links[link].To} {
+				if _, isSwitch := tp.Switches[end]; isSwitch && !seen[end] {
+					seen[end] = true
+					votes[end]++
+				}
+			}
+		}
+	}
+	if len(votes) == 0 {
+		return nil
+	}
+	max := 0
+	for _, v := range votes {
+		if v > max {
+			max = v
+		}
+	}
+	var out []SwitchVote
+	for sw, v := range votes {
+		if v == max {
+			out = append(out, SwitchVote{Switch: sw, Votes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
+	return out
+}
+
+// SwitchVote is one switch-level voting outcome.
+type SwitchVote struct {
+	Switch topo.DeviceID
+	Votes  int
+}
+
+func topVotes(votes map[topo.LinkID]int) []LinkVote {
+	if len(votes) == 0 {
+		return nil
+	}
+	max := 0
+	for _, v := range votes {
+		if v > max {
+			max = v
+		}
+	}
+	var out []LinkVote
+	for l, v := range votes {
+		if v == max {
+			out = append(out, LinkVote{Link: l, Votes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}

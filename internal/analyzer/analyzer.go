@@ -1,0 +1,966 @@
+// Package analyzer implements the R-Pingmesh Analyzer (§4.3, §5): every
+// 20 s it classifies the window's anomalous probes, detects anomalous
+// RNICs, localizes switch problems with Algorithm 1, aggregates SLAs for
+// the cluster and the service network, and assesses each problem's impact
+// on the service (P0/P1/P2 or "the network is innocent").
+//
+// Attribution order matters and is the paper's:
+//
+//  1. Timeouts toward hosts that stopped uploading → host down (not a
+//     network problem).
+//  2. Timeouts whose target QPN no longer matches the Controller registry
+//     → QPN-reset probe noise.
+//  3. Timeouts hitting several RNICs of one host at once, or whose target
+//     host shows abnormally high responder delay → Agent-CPU-overload
+//     noise (the §6 false-positive fix).
+//  4. RNICs with >10 % ToR-mesh timeouts → RNIC problems; their timeouts
+//     are quarantined from switch localization for 60 s.
+//  5. Everything left → switch network problems → Algorithm 1 voting over
+//     probe + ACK paths.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"rpingmesh/internal/metrics"
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/rnic"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Priority is the paper's impact triage (§2.4).
+type Priority int
+
+const (
+	// P0: severe service impact, fix immediately.
+	P0 Priority = iota
+	// P1: in the service network but impact below the tolerance
+	// threshold; fixing is a cost/benefit decision.
+	P1
+	// P2: outside the service network; isolate/repair to prevent future
+	// impact.
+	P2
+)
+
+func (p Priority) String() string {
+	switch p {
+	case P0:
+		return "P0"
+	case P1:
+		return "P1"
+	case P2:
+		return "P2"
+	default:
+		return fmt.Sprintf("P%d", int(p))
+	}
+}
+
+// ProblemKind labels what the Analyzer localized.
+type ProblemKind int
+
+const (
+	// ProblemRNIC covers the RNIC, its cable, and the switch port it
+	// plugs into — probing cannot tell them apart (§4.3.2 footnote).
+	ProblemRNIC ProblemKind = iota
+	// ProblemSwitchLink is an in-network link localized by voting.
+	ProblemSwitchLink
+	// ProblemHostDown is a host that stopped uploading.
+	ProblemHostDown
+	// ProblemHighProcDelay is an end-host processing bottleneck (CPU
+	// overload, §7.1 #12).
+	ProblemHighProcDelay
+	// ProblemHighRTT is network congestion: RTT inflated without drops.
+	ProblemHighRTT
+)
+
+func (k ProblemKind) String() string {
+	switch k {
+	case ProblemRNIC:
+		return "rnic"
+	case ProblemSwitchLink:
+		return "switch-link"
+	case ProblemHostDown:
+		return "host-down"
+	case ProblemHighProcDelay:
+		return "high-proc-delay"
+	case ProblemHighRTT:
+		return "high-rtt"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem is one detected-and-located problem.
+type Problem struct {
+	Kind     ProblemKind
+	Priority Priority
+	// Device is set for RNIC / host / proc-delay problems.
+	Device topo.DeviceID
+	Host   topo.HostID
+	// Link is the most suspicious link for switch-link problems.
+	Link topo.LinkID
+	// Links holds every link tied at the top vote count (Algorithm 1
+	// returns "abnormal links with the largest abnormal_cnt" — a set;
+	// plane-symmetric CLOS segments are genuinely indistinguishable to
+	// binary tomography).
+	Links []topo.LinkID
+	// FromServiceTracing reports which function detected it.
+	FromServiceTracing bool
+	// Evidence is the anomalous probe count behind the detection.
+	Evidence int
+	// Window is the analysis window index that reported it.
+	Window int
+}
+
+// SLA is one network's per-window service-level summary (§5: drop rates
+// split by attribution, and latency distributions P50–P999).
+type SLA struct {
+	Probes         int64
+	RNICDrops      int64
+	SwitchDrops    int64
+	NoiseDrops     int64 // host-down + QPN-reset + CPU-overload noise
+	RNICDropRate   float64
+	SwitchDropRate float64
+	RTT            metrics.Summary
+	ResponderDelay metrics.Summary
+	ProberDelay    metrics.Summary
+}
+
+// WindowReport is the outcome of one 20 s analysis window.
+type WindowReport struct {
+	Index      int
+	Start, End sim.Time
+
+	Cluster SLA // Cluster Monitoring probes
+	Service SLA // Service Tracing probes
+
+	// PerToR aggregates Cluster Monitoring SLAs per destination ToR
+	// (§7.4: hierarchical aggregation is sound for Cluster Monitoring,
+	// where every ToR receives plenty of probes — unlike Service Tracing,
+	// where it misleads and is deliberately not computed).
+	PerToR map[topo.DeviceID]SLA
+
+	// SuspiciousSwitches is footnote 5's variant of Algorithm 1: the
+	// most-voted switches across this window's anomalous paths.
+	SuspiciousSwitches []SwitchVote
+
+	HostDownTimeouts int
+	QPNResetTimeouts int
+	CPUNoiseTimeouts int
+
+	Problems []Problem
+
+	// ServicePerf is the mean service performance metric over the window
+	// (as reported via ObserveServicePerf), 0 if none.
+	ServicePerf float64
+	// PerfDegraded reports whether ServicePerf fell below the tolerance
+	// threshold relative to the baseline.
+	PerfDegraded bool
+	// NetworkInnocent is set when performance degraded but no P0/P1
+	// problem exists: the network team is off the hook (§2.4, §7.2).
+	NetworkInnocent bool
+}
+
+// QPNSource lets the Analyzer check a probe's target QPN against the
+// latest registry (the Controller implements it).
+type QPNSource interface {
+	CurrentQPN(dev topo.DeviceID) (rnic.QPN, bool)
+}
+
+// Config parameterizes the Analyzer; zero values take the paper's
+// settings.
+type Config struct {
+	// Window is the analysis period (20 s).
+	Window sim.Time
+	// RNICTimeoutFrac is the ToR-mesh timeout fraction above which an
+	// RNIC is anomalous (0.10).
+	RNICTimeoutFrac float64
+	// RNICQuarantine is how long an anomalous RNIC's timeouts are
+	// excluded from switch localization (60 s).
+	RNICQuarantine sim.Time
+	// MinSwitchEvidence is the minimum anomalous-probe count before the
+	// voting localizer runs (3).
+	MinSwitchEvidence int
+	// MinCPUNoiseRNICs is the number of distinct same-host target RNICs
+	// that must time out simultaneously to classify CPU-overload noise
+	// (2).
+	MinCPUNoiseRNICs int
+	// HighDelayFactor: a host whose responder delay exceeds this multiple
+	// of the cluster median is treated as CPU-overloaded (20).
+	HighDelayFactor float64
+	// HighRTTFactor: service RTT P99 above this multiple of the service
+	// baseline flags congestion (5).
+	HighRTTFactor float64
+	// DegradeFrac is the maximum tolerable service-performance
+	// degradation before a problem becomes P0 (0.3 = 30 % drop).
+	DegradeFrac float64
+	// ServiceLinkTTL is how long a link stays in the service-network set
+	// after a service-tracing probe last crossed it (2 min).
+	ServiceLinkTTL sim.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.Window <= 0 {
+		c.Window = 20 * sim.Second
+	}
+	if c.RNICTimeoutFrac <= 0 {
+		c.RNICTimeoutFrac = 0.10
+	}
+	if c.RNICQuarantine <= 0 {
+		c.RNICQuarantine = sim.Minute
+	}
+	if c.MinSwitchEvidence <= 0 {
+		c.MinSwitchEvidence = 3
+	}
+	if c.MinCPUNoiseRNICs <= 0 {
+		c.MinCPUNoiseRNICs = 2
+	}
+	if c.HighDelayFactor <= 0 {
+		c.HighDelayFactor = 20
+	}
+	if c.HighRTTFactor <= 0 {
+		c.HighRTTFactor = 5
+	}
+	if c.DegradeFrac <= 0 {
+		c.DegradeFrac = 0.3
+	}
+	if c.ServiceLinkTTL <= 0 {
+		c.ServiceLinkTTL = 2 * sim.Minute
+	}
+}
+
+// Analyzer consumes Agent uploads and produces WindowReports.
+type Analyzer struct {
+	eng  *sim.Engine
+	tp   *topo.Topology
+	cfg  Config
+	qpns QPNSource
+
+	pending []proto.ProbeResult
+
+	lastUpload map[topo.HostID]sim.Time
+	quarantine map[topo.DeviceID]sim.Time // RNIC -> quarantined-until
+
+	// Service-network membership with expiry (§4.3.4).
+	serviceLinks map[topo.LinkID]sim.Time
+	serviceHosts map[topo.HostID]sim.Time
+
+	// Service performance metric feed.
+	perfSamples  []float64
+	perfBaseline float64
+
+	// Baseline learned from calm history.
+	rttBaselineP99 float64
+
+	windows []WindowReport
+
+	// DisableCPUNoiseFilter reproduces the pre-fix behaviour of §6 (the
+	// 30 false-positive RNIC problems) for the Fig 6 ablation.
+	DisableCPUNoiseFilter bool
+
+	// DisableRNICDetection turns off the ToR-mesh anomalous-RNIC analysis
+	// (§4.3.2) for the ablation: RNIC-caused timeouts then contaminate
+	// switch localization, as in plain Pingmesh.
+	DisableRNICDetection bool
+}
+
+// New builds an Analyzer.
+func New(eng *sim.Engine, tp *topo.Topology, qpns QPNSource, cfg Config) *Analyzer {
+	cfg.setDefaults()
+	return &Analyzer{
+		eng:          eng,
+		tp:           tp,
+		cfg:          cfg,
+		qpns:         qpns,
+		lastUpload:   make(map[topo.HostID]sim.Time),
+		quarantine:   make(map[topo.DeviceID]sim.Time),
+		serviceLinks: make(map[topo.LinkID]sim.Time),
+		serviceHosts: make(map[topo.HostID]sim.Time),
+	}
+}
+
+// Window returns the configured analysis period.
+func (a *Analyzer) Window() sim.Time { return a.cfg.Window }
+
+// Upload implements proto.UploadSink.
+func (a *Analyzer) Upload(batch proto.UploadBatch) {
+	a.lastUpload[batch.Host] = batch.Sent
+	a.pending = append(a.pending, batch.Results...)
+}
+
+// ObserveServicePerf feeds the service performance metric (e.g. training
+// throughput) the impact assessment compares against its baseline.
+func (a *Analyzer) ObserveServicePerf(v float64) {
+	a.perfSamples = append(a.perfSamples, v)
+	if v > a.perfBaseline {
+		a.perfBaseline = v
+	}
+}
+
+// Reports returns all window reports so far.
+func (a *Analyzer) Reports() []WindowReport { return a.windows }
+
+// LastReport returns the most recent window report.
+func (a *Analyzer) LastReport() (WindowReport, bool) {
+	if len(a.windows) == 0 {
+		return WindowReport{}, false
+	}
+	return a.windows[len(a.windows)-1], true
+}
+
+// Problems returns every problem reported across all windows.
+func (a *Analyzer) Problems() []Problem {
+	var out []Problem
+	for _, w := range a.windows {
+		out = append(out, w.Problems...)
+	}
+	return out
+}
+
+// SeriesOf extracts a per-window time series from the report history —
+// the SLA dashboards of Fig 5 are exactly such projections (e.g.
+// func(w) float64 { return w.Service.RTT.P50 }).
+func (a *Analyzer) SeriesOf(name, unit string, f func(WindowReport) float64) *metrics.Series {
+	s := &metrics.Series{Name: name, Unit: unit}
+	for _, w := range a.windows {
+		s.Append(w.End.Seconds(), f(w))
+	}
+	return s
+}
+
+// Tick runs one analysis window over everything uploaded since the last
+// Tick. The experiment harness schedules it every cfg.Window.
+func (a *Analyzer) Tick() WindowReport {
+	now := a.eng.Now()
+	results := a.pending
+	a.pending = nil
+
+	rep := WindowReport{
+		Index: len(a.windows),
+		Start: now - a.cfg.Window,
+		End:   now,
+	}
+
+	// Refresh service-network membership from this window's
+	// service-tracing probes, then expire stale entries.
+	for i := range results {
+		r := &results[i]
+		if r.Kind != proto.ServiceTracing {
+			continue
+		}
+		for _, l := range r.ProbePath {
+			a.serviceLinks[l] = now
+		}
+		for _, l := range r.AckPath {
+			a.serviceLinks[l] = now
+		}
+		a.serviceHosts[r.SrcHost] = now
+		a.serviceHosts[r.DstHost] = now
+	}
+	for l, t := range a.serviceLinks {
+		if now-t > a.cfg.ServiceLinkTTL {
+			delete(a.serviceLinks, l)
+		}
+	}
+	for h, t := range a.serviceHosts {
+		if now-t > a.cfg.ServiceLinkTTL {
+			delete(a.serviceHosts, h)
+		}
+	}
+
+	// Performance metric for this window.
+	if len(a.perfSamples) > 0 {
+		sum := 0.0
+		for _, v := range a.perfSamples {
+			sum += v
+		}
+		rep.ServicePerf = sum / float64(len(a.perfSamples))
+		a.perfSamples = nil
+		if a.perfBaseline > 0 && rep.ServicePerf < (1-a.cfg.DegradeFrac)*a.perfBaseline {
+			rep.PerfDegraded = true
+		}
+	}
+
+	cls := a.classify(now, results, &rep)
+	a.detectRNICProblems(now, results, cls, &rep)
+	a.filterCPUNoise(results, cls, &rep)
+	a.localizeSwitchProblems(results, cls, &rep)
+	a.aggregateSLAs(results, cls, &rep)
+	a.detectBottlenecks(results, &rep)
+	a.assessImpact(&rep)
+
+	a.windows = append(a.windows, rep)
+	return rep
+}
+
+// cause is the per-result attribution.
+type cause int
+
+const (
+	causeOK cause = iota
+	causeHostDown
+	causeQPNReset
+	causeCPUNoise
+	causeRNIC
+	causeSwitch
+)
+
+// classify performs steps 1–2 (host down, QPN reset) and returns the
+// per-result attribution slice (parallel to results).
+func (a *Analyzer) classify(now sim.Time, results []proto.ProbeResult, rep *WindowReport) []cause {
+	cls := make([]cause, len(results))
+	for i := range results {
+		r := &results[i]
+		if !r.Timeout {
+			continue
+		}
+		last, seen := a.lastUpload[r.DstHost]
+		if !seen || now-last > a.cfg.Window {
+			cls[i] = causeHostDown
+			rep.HostDownTimeouts++
+			continue
+		}
+		if qpn, ok := a.qpns.CurrentQPN(r.DstDev); ok && qpn != r.DstQPN {
+			cls[i] = causeQPNReset
+			rep.QPNResetTimeouts++
+			continue
+		}
+		cls[i] = causeSwitch // provisional; refined below
+	}
+	return cls
+}
+
+// detectRNICProblems runs the ToR-mesh analysis (§4.3.2): an RNIC with
+// more than RNICTimeoutFrac of its inbound ToR-mesh probes timing out is
+// anomalous; every remaining timeout touching it (either side) is
+// re-attributed to the RNIC and quarantined from switch localization.
+//
+// Detection is iterative with source exclusion: the worst offender is
+// detected first and every probe involving it is withdrawn before other
+// RNICs are judged. Otherwise a single down RNIC, whose own outbound
+// ToR-mesh probes all time out, would push every ToR neighbour over the
+// 10 % threshold ("introduce minimal uncertainty", §4.3.2).
+func (a *Analyzer) detectRNICProblems(now sim.Time, results []proto.ProbeResult, cls []cause, rep *WindowReport) {
+	type stat struct{ total, timeout int }
+	excluded := make(map[topo.DeviceID]bool)
+	detected := make(map[topo.DeviceID]int) // dev -> timeout evidence
+
+	for !a.DisableRNICDetection {
+		stats := make(map[topo.DeviceID]*stat)
+		for i := range results {
+			r := &results[i]
+			if r.Kind != proto.ToRMesh {
+				continue
+			}
+			if cls[i] == causeHostDown || cls[i] == causeQPNReset {
+				continue
+			}
+			if excluded[r.SrcDev] || excluded[r.DstDev] {
+				continue
+			}
+			s, ok := stats[r.DstDev]
+			if !ok {
+				s = &stat{}
+				stats[r.DstDev] = s
+			}
+			s.total++
+			if r.Timeout {
+				s.timeout++
+			}
+		}
+		// Pick the single worst offender above the threshold
+		// (deterministically: lowest device ID wins ties).
+		candidates := make([]topo.DeviceID, 0, len(stats))
+		for dev := range stats {
+			candidates = append(candidates, dev)
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+		var worst topo.DeviceID
+		worstFrac := a.cfg.RNICTimeoutFrac
+		worstEvidence := 0
+		for _, dev := range candidates {
+			s := stats[dev]
+			if s.total == 0 {
+				continue
+			}
+			if frac := float64(s.timeout) / float64(s.total); frac > worstFrac {
+				worst = dev
+				worstFrac = frac
+				worstEvidence = s.timeout
+			}
+		}
+		if worst == "" {
+			break
+		}
+		excluded[worst] = true
+		detected[worst] = worstEvidence
+	}
+
+	devs := make([]topo.DeviceID, 0, len(detected))
+	for dev := range detected {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	for _, dev := range devs {
+		a.quarantine[dev] = now + a.cfg.RNICQuarantine
+		rep.Problems = append(rep.Problems, Problem{
+			Kind:     ProblemRNIC,
+			Device:   dev,
+			Host:     a.devHost(dev),
+			Evidence: detected[dev],
+			Window:   rep.Index,
+		})
+	}
+
+	// Re-attribute timeouts touching quarantined RNICs.
+	for i := range results {
+		if cls[i] != causeSwitch {
+			continue
+		}
+		r := &results[i]
+		if a.isQuarantined(now, r.SrcDev) || a.isQuarantined(now, r.DstDev) {
+			cls[i] = causeRNIC
+		}
+	}
+
+	// Host-down problems (deduplicated per window).
+	downHosts := make(map[topo.HostID]bool)
+	for i := range results {
+		if cls[i] == causeHostDown && !downHosts[results[i].DstHost] {
+			downHosts[results[i].DstHost] = true
+		}
+	}
+	hosts := make([]topo.HostID, 0, len(downHosts))
+	for h := range downHosts {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, h := range hosts {
+		rep.Problems = append(rep.Problems, Problem{
+			Kind:   ProblemHostDown,
+			Host:   h,
+			Window: rep.Index,
+		})
+	}
+}
+
+// filterCPUNoise is the post-deployment refinement of §6: probes to
+// several RNICs of one host transiently "dropping" at the same time, or a
+// host answering with abnormally high responder delay, indicate the
+// service occupying the Agent's CPU — not RNIC failures. Matching
+// ProblemRNIC reports are withdrawn and their timeouts reclassified.
+func (a *Analyzer) filterCPUNoise(results []proto.ProbeResult, cls []cause, rep *WindowReport) {
+	if a.DisableCPUNoiseFilter {
+		return
+	}
+	// Signature B inputs: per-host responder delay vs cluster median.
+	delayByHost := make(map[topo.HostID]*metrics.Distribution)
+	all := metrics.NewDistribution()
+	for i := range results {
+		r := &results[i]
+		if r.Timeout {
+			continue
+		}
+		d, ok := delayByHost[r.DstHost]
+		if !ok {
+			d = metrics.NewDistribution()
+			delayByHost[r.DstHost] = d
+		}
+		d.Add(float64(r.ResponderDelay))
+		all.Add(float64(r.ResponderDelay))
+	}
+	clusterMedian := all.P50()
+
+	// Signature A: count this window's detected-anomalous RNICs per host.
+	byHost := make(map[topo.HostID][]int) // host -> indices into rep.Problems
+	for i := range rep.Problems {
+		if rep.Problems[i].Kind == ProblemRNIC {
+			byHost[rep.Problems[i].Host] = append(byHost[rep.Problems[i].Host], i)
+		}
+	}
+	noisy := make(map[topo.HostID]bool)
+	for host, idxs := range byHost {
+		multiRNIC := len(idxs) >= a.cfg.MinCPUNoiseRNICs
+		highDelay := false
+		if d, ok := delayByHost[host]; ok && clusterMedian > 0 && d.Count() > 0 {
+			highDelay = d.P50() > a.cfg.HighDelayFactor*clusterMedian
+		}
+		if multiRNIC || highDelay {
+			noisy[host] = true
+		}
+	}
+	if len(noisy) == 0 {
+		return
+	}
+	// Withdraw the problems, lift the quarantine, reclassify timeouts.
+	kept := rep.Problems[:0]
+	for _, p := range rep.Problems {
+		if p.Kind == ProblemRNIC && noisy[p.Host] {
+			delete(a.quarantine, p.Device)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	rep.Problems = kept
+	for i := range results {
+		if cls[i] != causeRNIC && cls[i] != causeSwitch {
+			continue
+		}
+		r := &results[i]
+		if noisy[r.DstHost] {
+			cls[i] = causeCPUNoise
+			rep.CPUNoiseTimeouts++
+		}
+	}
+}
+
+func (a *Analyzer) isQuarantined(now sim.Time, dev topo.DeviceID) bool {
+	until, ok := a.quarantine[dev]
+	return ok && now <= until
+}
+
+func (a *Analyzer) devHost(dev topo.DeviceID) topo.HostID {
+	if r, ok := a.tp.RNICs[dev]; ok {
+		return r.Host
+	}
+	return ""
+}
+
+// localizeSwitchProblems runs Algorithm 1 over the remaining anomalous
+// probes' paths — Cluster Monitoring and Service Tracing analyzed
+// separately (§4.3.3).
+func (a *Analyzer) localizeSwitchProblems(results []proto.ProbeResult, cls []cause, rep *WindowReport) {
+	var clusterPaths, servicePaths [][]topo.LinkID
+	clusterN, serviceN := 0, 0
+	for i := range results {
+		if cls[i] != causeSwitch {
+			continue
+		}
+		r := &results[i]
+		path := append(append([]topo.LinkID{}, r.ProbePath...), r.AckPath...)
+		if len(path) == 0 {
+			continue
+		}
+		if r.Kind == proto.ServiceTracing {
+			servicePaths = append(servicePaths, path)
+			serviceN++
+		} else {
+			clusterPaths = append(clusterPaths, path)
+			clusterN++
+		}
+	}
+	emit := func(paths [][]topo.LinkID, n int, fromService bool) {
+		if n < a.cfg.MinSwitchEvidence {
+			return
+		}
+		votes := DetectAbnormalLinks(paths)
+		if len(votes) == 0 {
+			return
+		}
+		links := make([]topo.LinkID, len(votes))
+		for i, lv := range votes {
+			links[i] = lv.Link
+		}
+		// Footnote 4: if the suspicion concentrates on one RNIC's host
+		// cable, this is an RNIC problem (RNIC / its cable / the ToR port
+		// it plugs into are indistinguishable to probing).
+		if dev, ok := a.soleHostCableDevice(links); ok {
+			rep.Problems = append(rep.Problems, Problem{
+				Kind:               ProblemRNIC,
+				Device:             dev,
+				Host:               a.devHost(dev),
+				Evidence:           votes[0].Votes,
+				FromServiceTracing: fromService,
+				Window:             rep.Index,
+			})
+			return
+		}
+		rep.Problems = append(rep.Problems, Problem{
+			Kind:               ProblemSwitchLink,
+			Link:               links[0],
+			Links:              links,
+			Evidence:           votes[0].Votes,
+			FromServiceTracing: fromService,
+			Window:             rep.Index,
+		})
+	}
+	emit(clusterPaths, clusterN, false)
+	emit(servicePaths, serviceN, true)
+
+	// Footnote 5: the switch-level vote over all anomalous paths.
+	if clusterN+serviceN >= a.cfg.MinSwitchEvidence {
+		all := append(append([][]topo.LinkID{}, clusterPaths...), servicePaths...)
+		rep.SuspiciousSwitches = DetectAbnormalSwitches(a.tp, all)
+	}
+}
+
+// soleHostCableDevice reports the single RNIC whose host cable accounts
+// for every candidate link, if any.
+func (a *Analyzer) soleHostCableDevice(links []topo.LinkID) (topo.DeviceID, bool) {
+	var dev topo.DeviceID
+	for _, l := range links {
+		if int(l) < 0 || int(l) >= len(a.tp.Links) {
+			return "", false
+		}
+		link := a.tp.Links[l]
+		var end topo.DeviceID
+		if _, ok := a.tp.RNICs[link.From]; ok {
+			end = link.From
+		} else if _, ok := a.tp.RNICs[link.To]; ok {
+			end = link.To
+		} else {
+			return "", false
+		}
+		if dev == "" {
+			dev = end
+		} else if dev != end {
+			return "", false
+		}
+	}
+	return dev, dev != ""
+}
+
+// aggregateSLAs fills the per-window cluster and service SLAs (§5).
+func (a *Analyzer) aggregateSLAs(results []proto.ProbeResult, cls []cause, rep *WindowReport) {
+	type acc struct {
+		rtt, respd, probd *metrics.Distribution
+		sla               *SLA
+	}
+	newAcc := func(s *SLA) acc {
+		return acc{rtt: metrics.NewDistribution(), respd: metrics.NewDistribution(), probd: metrics.NewDistribution(), sla: s}
+	}
+	cluster := newAcc(&rep.Cluster)
+	service := newAcc(&rep.Service)
+	perToR := make(map[topo.DeviceID]acc)
+	fill := func(g acc, r *proto.ProbeResult, c cause) {
+		g.sla.Probes++
+		if r.Timeout {
+			switch c {
+			case causeRNIC:
+				g.sla.RNICDrops++
+			case causeSwitch:
+				g.sla.SwitchDrops++
+			default:
+				g.sla.NoiseDrops++
+			}
+			return
+		}
+		g.rtt.Add(float64(r.NetworkRTT))
+		if !r.OneWay {
+			// One-way probes exchange no ACKs, so they carry no
+			// processing-delay decomposition.
+			g.respd.Add(float64(r.ResponderDelay))
+			g.probd.Add(float64(r.ProberDelay))
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Kind == proto.ServiceTracing {
+			fill(service, r, cls[i])
+			continue
+		}
+		fill(cluster, r, cls[i])
+		// Hierarchical (per-destination-ToR) aggregation, Cluster
+		// Monitoring only (§7.4).
+		if dst, ok := a.tp.RNICs[r.DstDev]; ok {
+			g, ok := perToR[dst.ToR]
+			if !ok {
+				g = newAcc(&SLA{})
+				perToR[dst.ToR] = g
+			}
+			fill(g, r, cls[i])
+		}
+	}
+	finish := func(g acc) {
+		if g.sla.Probes > 0 {
+			g.sla.RNICDropRate = float64(g.sla.RNICDrops) / float64(g.sla.Probes)
+			g.sla.SwitchDropRate = float64(g.sla.SwitchDrops) / float64(g.sla.Probes)
+		}
+		g.sla.RTT = g.rtt.Summarize()
+		g.sla.ResponderDelay = g.respd.Summarize()
+		g.sla.ProberDelay = g.probd.Summarize()
+	}
+	finish(cluster)
+	finish(service)
+	rep.PerToR = make(map[topo.DeviceID]SLA, len(perToR))
+	for tor, g := range perToR {
+		finish(g)
+		rep.PerToR[tor] = *g.sla
+	}
+}
+
+// detectBottlenecks flags performance bottlenecks from the latency SLAs
+// (§2.3, Fig 8): per-host end-host processing delay (CPU overload, #12)
+// and per-RNIC network RTT inflation (PFC storms from intra-host
+// bottlenecks #13/#14, congested links #10/#11), plus the service-level
+// tail-RTT signal used in Fig 8 (right).
+func (a *Analyzer) detectBottlenecks(results []proto.ProbeResult, rep *WindowReport) {
+	const minSamples = 20
+	delayByHost := make(map[topo.HostID]*metrics.Distribution)
+	rttByDev := make(map[topo.DeviceID]*metrics.Distribution)
+	for i := range results {
+		r := &results[i]
+		if r.Timeout {
+			continue
+		}
+		d, ok := delayByHost[r.DstHost]
+		if !ok {
+			d = metrics.NewDistribution()
+			delayByHost[r.DstHost] = d
+		}
+		d.Add(float64(r.ResponderDelay))
+		rd, ok := rttByDev[r.DstDev]
+		if !ok {
+			rd = metrics.NewDistribution()
+			rttByDev[r.DstDev] = rd
+		}
+		rd.Add(float64(r.NetworkRTT))
+	}
+
+	// Per-host CPU overload: window P50 far above the cluster median.
+	if med := rep.Cluster.ResponderDelay.P50; med > 0 {
+		hosts := make([]topo.HostID, 0, len(delayByHost))
+		for h := range delayByHost {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		for _, h := range hosts {
+			d := delayByHost[h]
+			if d.Count() >= minSamples && d.P50() > a.cfg.HighDelayFactor*med {
+				rep.Problems = append(rep.Problems, Problem{
+					Kind:     ProblemHighProcDelay,
+					Host:     h,
+					Evidence: int(d.Count()),
+					Window:   rep.Index,
+				})
+			}
+		}
+	}
+
+	// Per-RNIC RTT inflation: everything toward one RNIC is slow (PFC
+	// storm on its downlink) — Fig 8 right's ToR-mesh signal.
+	if med := rep.Cluster.RTT.P50; med > 0 {
+		devs := make([]topo.DeviceID, 0, len(rttByDev))
+		for dev := range rttByDev {
+			devs = append(devs, dev)
+		}
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+		for _, dev := range devs {
+			d := rttByDev[dev]
+			if d.Count() >= minSamples && d.P50() > a.cfg.HighRTTFactor*med {
+				rep.Problems = append(rep.Problems, Problem{
+					Kind:     ProblemHighRTT,
+					Device:   dev,
+					Host:     a.devHost(dev),
+					Evidence: int(d.Count()),
+					Window:   rep.Index,
+				})
+			}
+		}
+	}
+
+	// Service-level congestion: tail RTT of the service network far above
+	// its own learned baseline.
+	if a.rttBaselineP99 > 0 && rep.Service.RTT.Count >= minSamples &&
+		rep.Service.RTT.P99 > a.cfg.HighRTTFactor*a.rttBaselineP99 {
+		rep.Problems = append(rep.Problems, Problem{
+			Kind:               ProblemHighRTT,
+			FromServiceTracing: true,
+			Window:             rep.Index,
+		})
+	}
+	if rep.Service.RTT.Count > 0 {
+		p99 := rep.Service.RTT.P99
+		if a.rttBaselineP99 == 0 {
+			a.rttBaselineP99 = p99
+		} else if p99 < a.cfg.HighRTTFactor*a.rttBaselineP99 {
+			a.rttBaselineP99 = 0.9*a.rttBaselineP99 + 0.1*p99
+		}
+	}
+}
+
+// assessImpact assigns P0/P1/P2 (§4.3.4) and decides network innocence.
+func (a *Analyzer) assessImpact(rep *WindowReport) {
+	hasP0orP1 := false
+	for i := range rep.Problems {
+		p := &rep.Problems[i]
+		inService := p.FromServiceTracing || a.inServiceNetwork(p)
+		switch {
+		case p.Kind == ProblemHostDown:
+			// Host down is not a network problem; priority by service
+			// membership for operator attention.
+			if _, ok := a.serviceHosts[p.Host]; ok {
+				p.Priority = P0
+			} else {
+				p.Priority = P2
+			}
+			continue
+		case !inService:
+			p.Priority = P2
+			continue
+		case rep.PerfDegraded:
+			p.Priority = P0
+		default:
+			p.Priority = P1
+		}
+		hasP0orP1 = true
+	}
+	if rep.PerfDegraded && !hasP0orP1 {
+		rep.NetworkInnocent = true
+	}
+}
+
+// inServiceNetwork reports whether a cluster-detected problem lies inside
+// the current service network (§4.3.4).
+func (a *Analyzer) inServiceNetwork(p *Problem) bool {
+	switch p.Kind {
+	case ProblemSwitchLink:
+		candidates := p.Links
+		if len(candidates) == 0 {
+			candidates = []topo.LinkID{p.Link}
+		}
+		for _, l := range candidates {
+			if _, ok := a.serviceLinks[l]; ok {
+				return true
+			}
+			if int(l) < 0 || int(l) >= len(a.tp.Links) {
+				continue
+			}
+			// Also check the reverse direction of the cable.
+			rev := a.tp.LinkBetween(a.tp.Links[l].To, a.tp.Links[l].From)
+			if _, ok := a.serviceLinks[rev]; ok {
+				return true
+			}
+		}
+		return false
+	case ProblemRNIC:
+		if _, ok := a.serviceHosts[p.Host]; ok {
+			return true
+		}
+		// The RNIC's host link may carry service traffic.
+		if r, ok := a.tp.RNICs[p.Device]; ok {
+			up := a.tp.LinkBetween(p.Device, r.ToR)
+			down := a.tp.LinkBetween(r.ToR, p.Device)
+			if _, ok := a.serviceLinks[up]; ok {
+				return true
+			}
+			if _, ok := a.serviceLinks[down]; ok {
+				return true
+			}
+		}
+		return false
+	case ProblemHighProcDelay, ProblemHighRTT:
+		if p.FromServiceTracing {
+			return true
+		}
+		if p.Host != "" {
+			_, ok := a.serviceHosts[p.Host]
+			return ok
+		}
+		return false
+	default:
+		return false
+	}
+}

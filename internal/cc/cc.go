@@ -1,0 +1,150 @@
+// Package cc implements the congestion-control algorithms compared in the
+// paper's Figure 11 (right): DCQCN, the default on commodity RNICs, and a
+// faster-reacting "improved" algorithm standing in for the authors'
+// self-developed one. Both plug into simnet's fluid flows via the
+// simnet.CongestionControl interface.
+//
+// The fluid adaptation keeps DCQCN's defining dynamics — an EWMA congestion
+// estimate α, multiplicative decrease R(1-α/2) on marks, fast recovery
+// toward the pre-cut target followed by additive increase — at the
+// granularity of the simulator tick rather than per-ACK.
+package cc
+
+import "rpingmesh/internal/simnet"
+
+// DCQCN is the classic RNIC congestion control (Zhu et al., SIGCOMM'15).
+type DCQCN struct {
+	// G is the α EWMA gain. Defaults to 1/16.
+	G float64
+	// AIRateGbps is the additive-increase step per update period.
+	// Defaults to 4 Gbps (scaled for 400G fabrics).
+	AIRateGbps float64
+	// RecoveryPeriods is the number of no-mark periods of fast recovery
+	// before additive increase starts. Defaults to 3.
+	RecoveryPeriods int
+}
+
+// NewFlowState implements simnet.CongestionControl.
+func (d DCQCN) NewFlowState(lineRateGbps float64) simnet.FlowCC {
+	g := d.G
+	if g <= 0 {
+		g = 1.0 / 16
+	}
+	ai := d.AIRateGbps
+	if ai <= 0 {
+		ai = 4
+	}
+	rp := d.RecoveryPeriods
+	if rp <= 0 {
+		rp = 3
+	}
+	return &dcqcnFlow{line: lineRateGbps, g: g, ai: ai, rp: rp, alpha: 1, target: lineRateGbps}
+}
+
+type dcqcnFlow struct {
+	line   float64
+	g      float64
+	ai     float64
+	rp     int
+	alpha  float64
+	target float64 // RT: rate before the last cut
+	calm   int     // consecutive unmarked periods
+}
+
+// Update implements simnet.FlowCC.
+func (f *dcqcnFlow) Update(rate float64, ecn bool, dt float64) float64 {
+	if ecn {
+		f.target = rate
+		rate = rate * (1 - f.alpha/2)
+		f.alpha = (1-f.g)*f.alpha + f.g
+		f.calm = 0
+	} else {
+		f.alpha = (1 - f.g) * f.alpha
+		f.calm++
+		if f.calm <= f.rp {
+			// Fast recovery: halve the distance to the pre-cut target.
+			rate = (rate + f.target) / 2
+		} else {
+			// Additive increase.
+			f.target += f.ai
+			if f.target > f.line {
+				f.target = f.line
+			}
+			rate = (rate + f.target) / 2
+		}
+	}
+	return clamp(rate, 0.1, f.line)
+}
+
+// Improved is the stand-in for the paper's self-developed algorithm
+// (§7.3): it cuts gently but immediately on every marked period instead of
+// carrying a heavy α, and climbs back with a small proportional step, so
+// queues stay shallow (low tail RTT) while average throughput stays high.
+type Improved struct {
+	// Decrease is the per-marked-period multiplicative cut. Defaults 0.9.
+	Decrease float64
+	// Increase is the per-calm-period rate gain as a fraction of line
+	// rate. Defaults to 0.02.
+	Increase float64
+}
+
+// NewFlowState implements simnet.CongestionControl.
+func (i Improved) NewFlowState(lineRateGbps float64) simnet.FlowCC {
+	dec := i.Decrease
+	if dec <= 0 || dec >= 1 {
+		dec = 0.9
+	}
+	inc := i.Increase
+	if inc <= 0 {
+		inc = 0.003
+	}
+	return &improvedFlow{line: lineRateGbps, dec: dec, inc: inc}
+}
+
+type improvedFlow struct {
+	line   float64
+	dec    float64
+	inc    float64
+	marked int // consecutive marked periods
+}
+
+// Update implements simnet.FlowCC. The cut escalates while marks persist
+// (0.9×, 0.85×, 0.8×, … floor 0.5×): onset bursts — every flow jumping to
+// line rate at the start of a communication phase — drain in a few
+// periods instead of lingering as tail-RTT spikes.
+func (f *improvedFlow) Update(rate float64, ecn bool, dt float64) float64 {
+	if ecn {
+		cut := f.dec - 0.05*float64(f.marked)
+		if cut < 0.5 {
+			cut = 0.5
+		}
+		f.marked++
+		rate *= cut
+	} else {
+		f.marked = 0
+		rate += f.inc * f.line
+	}
+	return clamp(rate, 0.1, f.line)
+}
+
+// None disables congestion control: flows always offer their full demand.
+// Queues then pin at the PFC ceiling under overload — the behaviour of a
+// misconfigured cluster.
+type None struct{}
+
+// NewFlowState implements simnet.CongestionControl.
+func (None) NewFlowState(lineRateGbps float64) simnet.FlowCC { return noneFlow{line: lineRateGbps} }
+
+type noneFlow struct{ line float64 }
+
+func (f noneFlow) Update(rate float64, ecn bool, dt float64) float64 { return f.line }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

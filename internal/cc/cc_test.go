@@ -1,0 +1,270 @@
+package cc
+
+import (
+	"testing"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
+	"rpingmesh/internal/topo"
+)
+
+func TestDCQCNDecreaseOnECN(t *testing.T) {
+	f := DCQCN{}.NewFlowState(400)
+	r := f.Update(400, true, 0.001)
+	// First mark with alpha=1 halves the rate.
+	if r != 200 {
+		t.Fatalf("first cut = %v, want 200", r)
+	}
+	r2 := f.Update(r, true, 0.001)
+	if r2 >= r {
+		t.Fatalf("second cut did not decrease: %v -> %v", r, r2)
+	}
+}
+
+func TestDCQCNRecovery(t *testing.T) {
+	f := DCQCN{}.NewFlowState(400)
+	r := f.Update(400, true, 0.001) // cut to 200, target 400
+	for i := 0; i < 50; i++ {
+		r = f.Update(r, false, 0.001)
+	}
+	if r < 390 {
+		t.Fatalf("rate after long calm = %v, want near line rate", r)
+	}
+	if r > 400 {
+		t.Fatalf("rate %v exceeds line rate", r)
+	}
+}
+
+func TestDCQCNAlphaDecays(t *testing.T) {
+	f := DCQCN{}.NewFlowState(400).(*dcqcnFlow)
+	f.Update(400, true, 0.001)
+	a1 := f.alpha
+	for i := 0; i < 100; i++ {
+		f.Update(200, false, 0.001)
+	}
+	if f.alpha >= a1/10 {
+		t.Fatalf("alpha did not decay: %v -> %v", a1, f.alpha)
+	}
+	// A mark after a long calm period cuts much less than a fresh flow's.
+	r := f.Update(400, true, 0.001)
+	if r < 350 {
+		t.Fatalf("low-alpha cut too deep: %v", r)
+	}
+}
+
+func TestImprovedGentleCut(t *testing.T) {
+	f := Improved{}.NewFlowState(400)
+	r := f.Update(400, true, 0.001)
+	if r != 360 {
+		t.Fatalf("improved cut = %v, want 360 (0.9x)", r)
+	}
+	r = f.Update(r, false, 0.001)
+	if r != 361.2 {
+		t.Fatalf("improved climb = %v, want 361.2 (+0.3%% line)", r)
+	}
+}
+
+func TestNone(t *testing.T) {
+	f := None{}.NewFlowState(400)
+	if f.Update(1, true, 0.001) != 400 {
+		t.Fatal("None must ignore congestion")
+	}
+}
+
+func TestClampFloor(t *testing.T) {
+	f := Improved{Decrease: 0.5}.NewFlowState(400)
+	r := 400.0
+	for i := 0; i < 100; i++ {
+		r = f.Update(r, true, 0.001)
+	}
+	if r < 0.1 {
+		t.Fatalf("rate fell below floor: %v", r)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := DCQCN{G: -1, AIRateGbps: -1, RecoveryPeriods: -1}.NewFlowState(100).(*dcqcnFlow)
+	if d.g != 1.0/16 || d.ai != 4 || d.rp != 3 {
+		t.Fatalf("defaults: %+v", d)
+	}
+	i := Improved{Decrease: 2, Increase: -1}.NewFlowState(100).(*improvedFlow)
+	if i.dec != 0.9 || i.inc != 0.003 {
+		t.Fatalf("defaults: %+v", i)
+	}
+}
+
+// End-to-end comparison on a shared bottleneck: both algorithms must keep
+// aggregate throughput near capacity, and Improved must hold a shallower
+// queue (the paper's Fig 11 right: lower tail RTT, higher throughput).
+func TestIncastComparison(t *testing.T) {
+	run := func(ccImpl simnet.CongestionControl) (thr float64, maxQ float64) {
+		tp, err := topo.BuildClos(topo.ClosConfig{Pods: 1, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2, HostsPerToR: 4, RNICsPerHost: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New(3)
+		net := simnet.New(eng, tp, simnet.Config{CC: ccImpl})
+		dst := tp.RNICsUnderToR("tor-0-1")[0]
+		srcs := tp.RNICsUnderToR("tor-0-0")
+		var flows []*simnet.Flow
+		for i, s := range srcs {
+			f, err := net.AddFlow(simnet.FlowSpec{
+				Src: s, Dst: dst,
+				Tuple:      ecmp.RoCETuple(tp.RNICs[s].IP, tp.RNICs[dst].IP, uint16(4000+i)),
+				DemandGbps: 400,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			flows = append(flows, f)
+		}
+		downlink := tp.LinkBetween(tp.RNICs[dst].ToR, dst)
+		warm := 200 * sim.Millisecond
+		eng.RunUntil(warm)
+		// Measure for 300ms.
+		samples := 0
+		for eng.Now() < warm+300*sim.Millisecond {
+			eng.RunUntil(eng.Now() + 5*sim.Millisecond)
+			sum := 0.0
+			for _, f := range flows {
+				sum += f.Rate()
+			}
+			thr += sum
+			if q := net.QueueBytesOn(downlink); q > maxQ {
+				maxQ = q
+			}
+			samples++
+		}
+		return thr / float64(samples), maxQ
+	}
+
+	thrD, qD := run(DCQCN{})
+	thrI, qI := run(Improved{})
+
+	if thrD < 200 || thrI < 200 {
+		t.Fatalf("aggregate throughput collapsed: dcqcn=%v improved=%v", thrD, thrI)
+	}
+	if thrD > 401 || thrI > 401 {
+		t.Fatalf("throughput exceeds capacity: dcqcn=%v improved=%v", thrD, thrI)
+	}
+	if qI >= qD {
+		t.Fatalf("improved CC queue (%v) not shallower than DCQCN (%v)", qI, qD)
+	}
+	if thrI < thrD*0.95 {
+		t.Fatalf("improved CC throughput (%v) well below DCQCN (%v)", thrI, thrD)
+	}
+}
+
+// Without CC, queues pin at the PFC ceiling; with DCQCN they must stay
+// strictly below it.
+func TestCCBoundsQueues(t *testing.T) {
+	run := func(ccImpl simnet.CongestionControl) float64 {
+		tp, _ := topo.BuildClos(topo.ClosConfig{Pods: 1, ToRsPerPod: 2, AggsPerPod: 1, Spines: 1, HostsPerToR: 2, RNICsPerHost: 1})
+		eng := sim.New(3)
+		net := simnet.New(eng, tp, simnet.Config{CC: ccImpl, MaxQueueBytes: 8 << 20})
+		dst := tp.RNICsUnderToR("tor-0-1")[0]
+		for i, s := range tp.RNICsUnderToR("tor-0-0") {
+			if _, err := net.AddFlow(simnet.FlowSpec{
+				Src: s, Dst: dst,
+				Tuple:      ecmp.RoCETuple(tp.RNICs[s].IP, tp.RNICs[dst].IP, uint16(i+1)),
+				DemandGbps: 400,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.RunUntil(500 * sim.Millisecond)
+		return net.QueueBytesOn(tp.LinkBetween(tp.RNICs[dst].ToR, dst))
+	}
+	qNone := run(nil)
+	qDCQCN := run(DCQCN{})
+	if qNone < float64(8<<20) {
+		t.Fatalf("no-CC queue = %v, expected pinned at ceiling", qNone)
+	}
+	if qDCQCN >= qNone {
+		t.Fatalf("DCQCN queue (%v) not below no-CC ceiling (%v)", qDCQCN, qNone)
+	}
+}
+
+func BenchmarkDCQCNUpdate(b *testing.B) {
+	f := DCQCN{}.NewFlowState(400)
+	r := 400.0
+	for i := 0; i < b.N; i++ {
+		r = f.Update(r, i%7 == 0, 0.001)
+	}
+}
+
+// Two DCQCN flows sharing one bottleneck converge to a fair-ish split.
+func TestDCQCNFairness(t *testing.T) {
+	tp, err := topo.BuildClos(topo.ClosConfig{Pods: 1, ToRsPerPod: 2, AggsPerPod: 1, Spines: 1, HostsPerToR: 3, RNICsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(8)
+	net := simnet.New(eng, tp, simnet.Config{CC: DCQCN{}})
+	dst := tp.RNICsUnderToR("tor-0-1")[0]
+	srcs := tp.RNICsUnderToR("tor-0-0")[:2]
+	var flows []*simnet.Flow
+	for i, s := range srcs {
+		f, err := net.AddFlow(simnet.FlowSpec{
+			Src: s, Dst: dst,
+			Tuple:      ecmp.RoCETuple(tp.RNICs[s].IP, tp.RNICs[dst].IP, uint16(6000+i)),
+			DemandGbps: 400,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	eng.RunUntil(300 * sim.Millisecond) // converge
+	// Average over a measurement window.
+	sum := make([]float64, 2)
+	samples := 0
+	for eng.Now() < 800*sim.Millisecond {
+		eng.RunUntil(eng.Now() + 10*sim.Millisecond)
+		for i, f := range flows {
+			sum[i] += f.Rate()
+		}
+		samples++
+	}
+	a := sum[0] / float64(samples)
+	b := sum[1] / float64(samples)
+	ratio := a / b
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("unfair long-run split: %.1f vs %.1f Gbps", a, b)
+	}
+	if a+b < 250 {
+		t.Fatalf("aggregate %.1f Gbps badly underutilizes the 400G bottleneck", a+b)
+	}
+}
+
+// The improved CC's escalating cut resets after a calm period.
+func TestImprovedEscalationResets(t *testing.T) {
+	f := Improved{}.NewFlowState(400).(*improvedFlow)
+	r := f.Update(400, true, 0.001) // 0.9x
+	first := 400 - r
+	r2 := f.Update(r, true, 0.001) // 0.85x — deeper
+	second := r - r2
+	if second/r <= first/400 {
+		t.Fatalf("cut did not escalate: %.1f%% then %.1f%%", 100*first/400, 100*second/r)
+	}
+	_ = f.Update(r2, false, 0.001) // calm resets the streak
+	r3 := f.Update(400, true, 0.001)
+	if 400-r3 != first {
+		t.Fatalf("escalation not reset after calm: cut %.1f, want %.1f", 400-r3, first)
+	}
+}
+
+// The escalating cut floors at 0.5x.
+func TestImprovedCutFloor(t *testing.T) {
+	f := Improved{}.NewFlowState(400).(*improvedFlow)
+	r := 400.0
+	prev := r
+	for i := 0; i < 30; i++ {
+		r = f.Update(r, true, 0.001)
+		if r < prev*0.5-1e-9 {
+			t.Fatalf("cut below floor: %v -> %v", prev, r)
+		}
+		prev = r
+	}
+}

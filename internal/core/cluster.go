@@ -1,0 +1,246 @@
+// Package core assembles a complete R-Pingmesh deployment over the
+// simulated RoCE fabric: topology, data plane, one software RNIC per
+// topology RNIC, per-host verbs stacks and Agents, a Controller, and an
+// Analyzer — the full Fig-3 system — plus the experiment harness the
+// benchmarks drive.
+package core
+
+import (
+	"fmt"
+
+	"rpingmesh/internal/agent"
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/controller"
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/rnic"
+	"rpingmesh/internal/service"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
+	"rpingmesh/internal/topo"
+	"rpingmesh/internal/trace"
+	"rpingmesh/internal/verbs"
+)
+
+// Config assembles a cluster. Only Topology is required.
+type Config struct {
+	Topology *topo.Topology
+	Seed     int64
+
+	Net        simnet.Config
+	Agent      agent.Config
+	Controller controller.Config
+	Analyzer   analyzer.Config
+
+	// MaxClockOffset randomizes each RNIC and host clock offset uniformly
+	// in [-MaxClockOffset, +MaxClockOffset]. Defaults to 10 s — large
+	// enough that any algebra accidentally mixing clocks is glaring.
+	MaxClockOffset sim.Time
+	// MaxDriftPPM randomizes clock drift in [-MaxDriftPPM, +MaxDriftPPM].
+	// Defaults to 0 (drift-free); tests enable it explicitly.
+	MaxDriftPPM float64
+
+	// UseINT selects the INT path tracer instead of rate-limited
+	// Traceroute (§7.4).
+	UseINT bool
+
+	// RotateInterval is the inter-ToR 5-tuple rotation period (1 h).
+	RotateInterval sim.Time
+
+	// WrapController, when set, wraps the in-memory Controller with the
+	// transport the Agents will actually use — e.g. a wire.Client dialled
+	// at a wire.Server over real TCP (the Fig-3 management-network
+	// deployment). The Analyzer keeps consulting the in-memory instance
+	// as its QPN registry, which the wrapper must be backed by.
+	WrapController func(proto.Controller) proto.Controller
+}
+
+// HostNode bundles everything running on one server.
+type HostNode struct {
+	Host    *rnic.Host
+	Stack   *verbs.Stack
+	Agent   *agent.Agent
+	Devices map[topo.DeviceID]*rnic.Device
+}
+
+// Cluster is a fully wired deployment.
+type Cluster struct {
+	Eng        *sim.Engine
+	Topo       *topo.Topology
+	Net        *simnet.Net
+	Controller *controller.Controller
+	Analyzer   *analyzer.Analyzer
+	Tracer     trace.PathTracer
+	Hosts      map[topo.HostID]*HostNode
+
+	cfg  Config
+	taps []func(proto.UploadBatch)
+}
+
+// Upload implements proto.UploadSink: the cluster sits between the Agents
+// and the Analyzer so experiments can tap the raw result stream.
+func (c *Cluster) Upload(b proto.UploadBatch) {
+	for _, tap := range c.taps {
+		tap(b)
+	}
+	c.Analyzer.Upload(b)
+}
+
+// TapUploads registers an observer for every Agent upload.
+func (c *Cluster) TapUploads(fn func(proto.UploadBatch)) { c.taps = append(c.taps, fn) }
+
+// NewCluster builds (but does not start) a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: Config.Topology is required")
+	}
+	if cfg.MaxClockOffset == 0 {
+		cfg.MaxClockOffset = 10 * sim.Second
+	}
+	if cfg.RotateInterval <= 0 {
+		cfg.RotateInterval = sim.Hour
+	}
+	if cfg.Topology.Rail {
+		// Rail-optimized fabrics use §7.4's host-local one-way probing.
+		cfg.Agent.OneWayIntraHost = true
+	}
+	eng := sim.New(cfg.Seed)
+	tp := cfg.Topology
+	net := simnet.New(eng, tp, cfg.Net)
+	ctrl := controller.New(eng, tp, cfg.Controller)
+	an := analyzer.New(eng, tp, ctrl, cfg.Analyzer)
+
+	var tracer trace.PathTracer
+	if cfg.UseINT {
+		tracer = trace.NewINT(eng, net)
+	} else {
+		tracer = trace.NewTraceroute(eng, net)
+	}
+
+	clockRNG := eng.SubRand("clocks")
+	randClock := func() rnic.Clock {
+		off := sim.Time(clockRNG.Int63n(int64(2*cfg.MaxClockOffset)+1)) - cfg.MaxClockOffset
+		drift := 0.0
+		if cfg.MaxDriftPPM > 0 {
+			drift = (clockRNG.Float64()*2 - 1) * cfg.MaxDriftPPM
+		}
+		return rnic.Clock{Offset: off, DriftPPM: drift}
+	}
+
+	c := &Cluster{
+		Eng: eng, Topo: tp, Net: net, Controller: ctrl, Analyzer: an,
+		Tracer: tracer,
+		Hosts:  make(map[topo.HostID]*HostNode),
+		cfg:    cfg,
+	}
+
+	agentCtrl := proto.Controller(ctrl)
+	if cfg.WrapController != nil {
+		agentCtrl = cfg.WrapController(ctrl)
+	}
+
+	for _, hid := range tp.AllHosts() {
+		h := rnic.NewHost(eng, hid, randClock())
+		node := &HostNode{Host: h, Devices: make(map[topo.DeviceID]*rnic.Device)}
+		for _, devID := range tp.Hosts[hid].RNICs {
+			info := tp.RNICs[devID]
+			d := rnic.NewDevice(eng, net, rnic.Config{
+				ID: devID, IP: info.IP, GID: info.GID, Host: hid,
+				Clock: randClock(),
+			})
+			h.Attach(d)
+			net.Register(d)
+			node.Devices[devID] = d
+		}
+		node.Stack = verbs.NewStack(h)
+		node.Agent = agent.New(eng, node.Stack, agentCtrl, c, tracer, cfg.Agent)
+		c.Hosts[hid] = node
+	}
+
+	// Periodic control-plane work: the Analyzer window and the
+	// Controller's hourly tuple rotation.
+	eng.Every(an.Window(), an.Window(), func() { an.Tick() })
+	eng.Every(cfg.RotateInterval, cfg.RotateInterval, ctrl.RotateInterToR)
+
+	return c, nil
+}
+
+// StartAgents starts every host's Agent, staggered over the first 100 ms
+// so uploads and pinglist pulls do not synchronize, then refreshes all
+// pinglists once the whole fleet has registered (an Agent that started
+// early would otherwise probe only the subset registered before it).
+func (c *Cluster) StartAgents() {
+	stagger := c.Eng.SubRand("agent-stagger")
+	for _, hid := range c.Topo.AllHosts() {
+		node := c.Hosts[hid]
+		c.Eng.At(c.Eng.Now()+sim.Time(stagger.Int63n(int64(100*sim.Millisecond))), func() {
+			if err := node.Agent.Start(); err != nil {
+				panic(err) // starting twice is a harness bug
+			}
+		})
+	}
+	c.Eng.At(c.Eng.Now()+150*sim.Millisecond, func() {
+		for _, node := range c.Hosts {
+			node.Agent.RefreshPinglists()
+		}
+	})
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d sim.Time) { c.Eng.RunUntil(c.Eng.Now() + d) }
+
+// Agent returns the agent on a host.
+func (c *Cluster) Agent(h topo.HostID) *agent.Agent { return c.Hosts[h].Agent }
+
+// Host returns the host node.
+func (c *Cluster) Host(h topo.HostID) *HostNode { return c.Hosts[h] }
+
+// Device returns a device anywhere in the cluster.
+func (c *Cluster) Device(dev topo.DeviceID) *rnic.Device {
+	r, ok := c.Topo.RNICs[dev]
+	if !ok {
+		return nil
+	}
+	return c.Hosts[r.Host].Devices[dev]
+}
+
+// DeviceHostNode returns the host node owning a device.
+func (c *Cluster) DeviceHostNode(dev topo.DeviceID) *HostNode {
+	r, ok := c.Topo.RNICs[dev]
+	if !ok {
+		return nil
+	}
+	return c.Hosts[r.Host]
+}
+
+// Participants assembles service.Participant bundles for a training job
+// across the given hosts (all hosts when none are named), in sorted host
+// order with devices in NIC-index order.
+func (c *Cluster) Participants(hosts ...topo.HostID) []service.Participant {
+	if len(hosts) == 0 {
+		hosts = c.Topo.AllHosts()
+	}
+	out := make([]service.Participant, 0, len(hosts))
+	for _, hid := range hosts {
+		node, ok := c.Hosts[hid]
+		if !ok {
+			continue
+		}
+		p := service.Participant{Stack: node.Stack}
+		for _, dev := range c.Topo.Hosts[hid].RNICs {
+			p.Devices = append(p.Devices, node.Devices[dev])
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// NewJob builds a training job over the given hosts, wired to feed its
+// throughput samples to the Analyzer's impact assessment.
+func (c *Cluster) NewJob(cfg service.Config, hosts ...topo.HostID) (*service.Job, error) {
+	job, err := service.NewJob(c.Eng, c.Net, c.Participants(hosts...), cfg)
+	if err != nil {
+		return nil, err
+	}
+	job.OnPerfSample = c.Analyzer.ObserveServicePerf
+	return job, nil
+}

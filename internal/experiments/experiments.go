@@ -1,0 +1,159 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation and experience sections (see DESIGN.md for the index). Each
+// experiment is a deterministic function of a seed that returns a Report
+// with printable rows and machine-checkable metrics; bench_test.go and
+// cmd/rpmesh both drive this registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rpingmesh/internal/core"
+	"rpingmesh/internal/service"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Report is an experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	// Lines are the human-readable rows (the regenerated table/series).
+	Lines []string
+	// Metrics are key quantities for assertions and EXPERIMENTS.md.
+	Metrics map[string]float64
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) metric(k string, v float64) { r.Metrics[k] = v }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "metric %-36s %.4g\n", k, r.Metrics[k])
+	}
+	return b.String()
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) *Report
+}
+
+var registry []Experiment
+
+// paperOrder is the canonical presentation order: the paper's exhibits
+// first, then the §7.3/§7.5 extensions, then the ablations.
+var paperOrder = []string{
+	"fig1", "fig2", "table1", "eq1", "fig4",
+	"fig5", "fig6", "fig7",
+	"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2",
+	"lb-guidance", "ext-diagnosis",
+	"ablation-tormesh", "ablation-pathtracing", "ablation-aggregation", "ablation-cpufilter",
+}
+
+func register(id, title string, run func(seed int64) *Report) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in paper order (registration happens in
+// file-compile order; this reorders canonically, appending any experiment
+// missing from paperOrder at the end).
+func All() []Experiment {
+	rank := make(map[string]int, len(paperOrder))
+	for i, id := range paperOrder {
+		rank[id] = i
+	}
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iOK := rank[out[i].ID]
+		rj, jOK := rank[out[j].ID]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return out[i].ID < out[j].ID
+		}
+	})
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: make(map[string]float64)}
+}
+
+// stdTopo is the default evaluation fabric: 2 pods x 2 ToRs, 2 aggs/pod,
+// 4 spines, 2 hosts/ToR with 2 RNICs each (32 RNICs) — small enough to
+// simulate minutes in seconds, large enough for 3-tier paths.
+func stdTopo() *topo.Topology {
+	tp, err := topo.BuildClos(topo.ClosConfig{
+		Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 4,
+		HostsPerToR: 2, RNICsPerHost: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tp
+}
+
+// newStdCluster builds the default cluster and starts its agents.
+func newStdCluster(seed int64, mut ...func(*core.Config)) *core.Cluster {
+	cfg := core.Config{Topology: stdTopo(), Seed: seed}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.StartAgents()
+	return c
+}
+
+// us converts nanosecond floats (metrics store sim.Time as float64 ns)
+// to microseconds for display.
+func us(ns float64) float64 { return ns / float64(sim.Microsecond) }
+
+// serviceAll2All is a small All2All job config used by ablations.
+func serviceAll2All(seed int64) service.Config {
+	return service.Config{
+		Pattern:         service.All2All,
+		ComputeTime:     sim.Second,
+		DemandGbps:      100,
+		VolumePerFlowGB: 2,
+		StallFailAfter:  sim.Hour,
+		Seed:            seed,
+	}
+}

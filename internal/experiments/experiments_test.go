@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every exhibit of the paper's evaluation must be registered, in
+	// paper order (see DESIGN.md).
+	want := []string{
+		"fig1", "fig2", "table1", "eq1", "fig4",
+		"fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2",
+		"lb-guidance", "ext-diagnosis",
+		"ablation-tormesh", "ablation-pathtracing", "ablation-aggregation", "ablation-cpufilter",
+	}
+	got := All()
+	if len(got) != len(want) {
+		ids := make([]string, len(got))
+		for i, e := range got {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %d experiments: %v", len(got), ids)
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("experiment %q missing", id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%q) failed", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID of unknown id succeeded")
+	}
+}
+
+// The fast experiments run end-to-end inside the test suite; the heavy
+// ones are exercised by the benchmarks (bench_test.go), which also assert
+// the paper's shape claims.
+func TestFastExperimentsRun(t *testing.T) {
+	for _, id := range []string{"eq1", "table1"} {
+		exp, _ := ByID(id)
+		rep := exp.Run(3)
+		if len(rep.Lines) == 0 || len(rep.Metrics) == 0 {
+			t.Fatalf("%s produced an empty report", id)
+		}
+		if !strings.Contains(rep.String(), "==") {
+			t.Fatalf("%s report renders oddly", id)
+		}
+	}
+}
+
+func TestEq1MatchesPaperSetting(t *testing.T) {
+	exp, _ := ByID("eq1")
+	rep := exp.Run(1)
+	// k must grow superlinearly-ish in N and always satisfy k >= N.
+	if rep.Metrics["k_for_N_02"] < 2 || rep.Metrics["k_for_N_64"] < 64 {
+		t.Fatalf("Eq1 table wrong: %v", rep.Metrics)
+	}
+	if rep.Metrics["k_for_N_64"] <= rep.Metrics["k_for_N_32"] {
+		t.Fatal("k not monotone in N")
+	}
+}
+
+func TestTable1ShapeDeterministic(t *testing.T) {
+	exp, _ := ByID("table1")
+	a := exp.Run(5)
+	b := exp.Run(5)
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Fatalf("metric %s not deterministic: %v vs %v", k, v, b.Metrics[k])
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := newReport("x", "demo")
+	r.addf("line %d", 1)
+	r.metric("m", 2)
+	s := r.String()
+	if !strings.Contains(s, "line 1") || !strings.Contains(s, "m") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+func TestRegistryPaperOrder(t *testing.T) {
+	want := []string{"fig1", "fig2", "table1", "eq1", "fig4"}
+	got := All()
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("position %d = %s, want %s", i, got[i].ID, id)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package faultgen
+
+import (
+	"sort"
+
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Event is one scheduled fault: injected at At, cleared after Duration.
+type Event struct {
+	At       sim.Time
+	Duration sim.Time
+	Fault    Fault
+}
+
+// ScheduleConfig drives the Poisson fault generator used by the
+// month-scale localization-accuracy experiment (Fig 6).
+type ScheduleConfig struct {
+	// Duration is the schedule horizon.
+	Duration sim.Time
+	// EventsPerHour is the Poisson rate per cause; absent causes never
+	// fire.
+	EventsPerHour map[Cause]float64
+	// MeanFaultDuration is the mean of the exponential fault lifetime.
+	// Defaults to 2 minutes.
+	MeanFaultDuration sim.Time
+}
+
+// RandomRNIC picks a uniform RNIC.
+func (in *Injector) RandomRNIC() topo.DeviceID {
+	ids := in.c.Topo.AllRNICs()
+	return ids[in.rng.Intn(len(ids))]
+}
+
+// RandomHost picks a uniform host.
+func (in *Injector) RandomHost() topo.HostID {
+	ids := in.c.Topo.AllHosts()
+	return ids[in.rng.Intn(len(ids))]
+}
+
+// RandomFabricLink picks a uniform switch-to-switch directed link.
+func (in *Injector) RandomFabricLink() topo.LinkID {
+	var fabric []topo.LinkID
+	for _, l := range in.c.Topo.Links {
+		_, fromSwitch := in.c.Topo.Switches[l.From]
+		_, toSwitch := in.c.Topo.Switches[l.To]
+		if fromSwitch && toSwitch {
+			fabric = append(fabric, l.ID)
+		}
+	}
+	return fabric[in.rng.Intn(len(fabric))]
+}
+
+// randomTarget fills in a random target appropriate to the cause.
+func (in *Injector) randomTarget(c Cause) Fault {
+	f := Fault{Cause: c}
+	switch c {
+	case FlappingPort:
+		// Half RNIC flaps, half switch-port flaps.
+		if in.rng.Intn(2) == 0 {
+			f.Dev = in.RandomRNIC()
+		} else {
+			f.Link = in.RandomFabricLink()
+		}
+	case PacketCorruption:
+		if in.rng.Intn(2) == 0 {
+			f.Dev = in.RandomRNIC()
+		} else {
+			f.Link = in.RandomFabricLink()
+		}
+	case RNICDown, MissingRouteConfig, GIDIndexMissing, ACLError, PCIeDowngraded, PCIeMisconfig:
+		f.Dev = in.RandomRNIC()
+	case HostDown, CPUOverload:
+		f.Host = in.RandomHost()
+	case PFCDeadlock, PFCHeadroomMisconfig, UnevenLoadBalance, ServiceInterference:
+		f.Link = in.RandomFabricLink()
+	}
+	return f
+}
+
+// GenerateSchedule draws a Poisson schedule with random targets.
+func (in *Injector) GenerateSchedule(cfg ScheduleConfig) []Event {
+	if cfg.MeanFaultDuration <= 0 {
+		cfg.MeanFaultDuration = 2 * sim.Minute
+	}
+	// Iterate causes in a fixed order: map iteration order would consume
+	// the random stream differently on every run and break per-seed
+	// reproducibility.
+	causes := make([]Cause, 0, len(cfg.EventsPerHour))
+	for cause := range cfg.EventsPerHour {
+		causes = append(causes, cause)
+	}
+	sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
+
+	var events []Event
+	for _, cause := range causes {
+		perHour := cfg.EventsPerHour[cause]
+		if perHour <= 0 {
+			continue
+		}
+		meanGap := float64(sim.Hour) / perHour
+		t := sim.Time(in.rng.ExpFloat64() * meanGap)
+		for t < cfg.Duration {
+			dur := sim.Time(in.rng.ExpFloat64() * float64(cfg.MeanFaultDuration))
+			if dur < 30*sim.Second {
+				dur = 30 * sim.Second // sub-window faults are undetectable by design
+			}
+			events = append(events, Event{At: t, Duration: dur, Fault: in.randomTarget(cause)})
+			t += sim.Time(in.rng.ExpFloat64() * meanGap)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Fault.Cause < events[j].Fault.Cause
+	})
+	return events
+}
+
+// Play schedules inject/clear simulation events for the schedule and
+// returns the ActiveFault handles in schedule order (handles are created
+// lazily at injection time; the slice is filled as the simulation runs).
+func (in *Injector) Play(events []Event) *[]*ActiveFault {
+	injected := make([]*ActiveFault, 0, len(events))
+	out := &injected
+	for _, ev := range events {
+		ev := ev
+		in.c.Eng.At(ev.At, func() {
+			af, err := in.Inject(ev.Fault)
+			if err != nil {
+				return // e.g. congestion found no crossing tuples
+			}
+			*out = append(*out, af)
+			in.c.Eng.After(ev.Duration, func() { in.Clear(af) })
+		})
+	}
+	return out
+}

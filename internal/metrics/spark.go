@@ -1,0 +1,69 @@
+package metrics
+
+import "strings"
+
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series into a fixed-width ASCII chart: the series
+// is bucketed to width columns (mean per bucket) and scaled to the
+// series' own min/max. Experiment reports use it to echo the paper's
+// figure shapes straight into the terminal.
+func (s *Series) Sparkline(width int) string {
+	if width <= 0 || len(s.Points) == 0 {
+		return ""
+	}
+	if width > len(s.Points) {
+		width = len(s.Points)
+	}
+	// Bucket by time so irregular sampling still renders proportionally.
+	t0 := s.Points[0].T
+	t1 := s.Points[len(s.Points)-1].T
+	span := t1 - t0
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	for _, p := range s.Points {
+		idx := 0
+		if span > 0 {
+			idx = int((p.T - t0) / span * float64(width))
+		}
+		if idx >= width {
+			idx = width - 1
+		}
+		sums[idx] += p.V
+		counts[idx]++
+	}
+	vals := make([]float64, 0, width)
+	min, max := 0.0, 0.0
+	first := true
+	for i := 0; i < width; i++ {
+		if counts[i] == 0 {
+			vals = append(vals, 0)
+			continue
+		}
+		v := sums[i] / float64(counts[i])
+		vals = append(vals, v)
+		if first || v < min {
+			min = v
+		}
+		if first || v > max {
+			max = v
+		}
+		first = false
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		var level int
+		if max > min {
+			level = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkRunes) {
+			level = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	s := &Series{}
+	if s.Sparkline(10) != "" {
+		t.Fatal("empty series rendered something")
+	}
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	sp := s.Sparkline(10)
+	if utf8.RuneCountInString(sp) != 10 {
+		t.Fatalf("width = %d, want 10 (%q)", utf8.RuneCountInString(sp), sp)
+	}
+	// Monotonically rising data renders non-decreasing levels, starting
+	// at the lowest block and ending at the highest.
+	runes := []rune(sp)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Fatalf("ramp endpoints wrong: %q", sp)
+	}
+	prev := -1
+	for _, r := range runes {
+		level := strings.IndexRune(string(sparkRunes), r)
+		if level < prev {
+			t.Fatalf("ramp not monotone: %q", sp)
+		}
+		prev = level
+	}
+}
+
+func TestSparklineFlatSeries(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 20; i++ {
+		s.Append(float64(i), 5)
+	}
+	sp := s.Sparkline(5)
+	for _, r := range sp {
+		if r != '▁' {
+			t.Fatalf("flat series not rendered flat: %q", sp)
+		}
+	}
+}
+
+func TestSparklineWidthClamp(t *testing.T) {
+	s := &Series{}
+	s.Append(0, 1)
+	s.Append(1, 2)
+	if got := utf8.RuneCountInString(s.Sparkline(50)); got != 2 {
+		t.Fatalf("width clamp = %d, want 2", got)
+	}
+	if s.Sparkline(0) != "" || s.Sparkline(-3) != "" {
+		t.Fatal("non-positive width rendered")
+	}
+}
+
+// Property: output is always exactly min(width, points) rune cells drawn
+// from the spark alphabet, for arbitrary data.
+func TestPropertySparklineShape(t *testing.T) {
+	f := func(vals []float64, w uint8) bool {
+		width := int(w%40) + 1
+		s := &Series{}
+		for i, v := range vals {
+			s.Append(float64(i), v)
+		}
+		sp := s.Sparkline(width)
+		want := width
+		if len(vals) == 0 {
+			want = 0
+		} else if len(vals) < width {
+			want = len(vals)
+		}
+		if utf8.RuneCountInString(sp) != want {
+			return false
+		}
+		for _, r := range sp {
+			if !strings.ContainsRune(string(sparkRunes), r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

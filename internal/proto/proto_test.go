@@ -1,0 +1,113 @@
+package proto
+
+import (
+	"encoding/json"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Every wire-crossing type must JSON-roundtrip losslessly (the TCP
+// transport depends on it).
+func TestProbeResultJSONRoundtrip(t *testing.T) {
+	in := ProbeResult{
+		Seq: 42, Kind: ServiceTracing,
+		SrcDev: "rnic-a", SrcHost: "host-a",
+		DstDev: "rnic-b", DstHost: "host-b",
+		SrcIP:   netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		DstIP:   netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+		SrcPort: 5555, DstQPN: 109,
+		SentAt:     123 * sim.Second,
+		Timeout:    false,
+		NetworkRTT: 12 * sim.Microsecond, ProberDelay: 9 * sim.Microsecond,
+		ResponderDelay: 8 * sim.Microsecond,
+		OneWay:         true, OneWayDelay: 6 * sim.Microsecond,
+		ProbePath: []topo.LinkID{1, 2, 3},
+		AckPath:   []topo.LinkID{4, 5},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ProbeResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcIP != in.SrcIP || out.DstIP != in.DstIP {
+		t.Fatalf("IPs lost: %+v", out)
+	}
+	if out.NetworkRTT != in.NetworkRTT || out.OneWayDelay != in.OneWayDelay || !out.OneWay {
+		t.Fatalf("latencies lost: %+v", out)
+	}
+	if len(out.ProbePath) != 3 || len(out.AckPath) != 2 {
+		t.Fatalf("paths lost: %+v", out)
+	}
+	if out.DstQPN != in.DstQPN || out.Kind != in.Kind || out.Seq != in.Seq {
+		t.Fatalf("identity lost: %+v", out)
+	}
+}
+
+func TestPinglistJSONRoundtrip(t *testing.T) {
+	in := Pinglist{
+		Kind: InterToR, Src: "rnic-x",
+		Interval: 47 * sim.Millisecond,
+		Targets: []PingTarget{{
+			Dst: RNICInfo{
+				Dev: "rnic-y", Host: "host-y", ToR: "tor-1",
+				IP: netip.AddrFrom4([4]byte{10, 1, 2, 3}), GID: "fe80::1", QPN: 204,
+			},
+			SrcPort: 7001,
+		}},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Pinglist
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Interval != in.Interval || out.Kind != in.Kind || out.Src != in.Src {
+		t.Fatalf("header lost: %+v", out)
+	}
+	if len(out.Targets) != 1 || out.Targets[0] != in.Targets[0] {
+		t.Fatalf("target lost: %+v", out.Targets)
+	}
+}
+
+// Property: arbitrary UploadBatch metadata survives the JSON roundtrip.
+func TestPropertyBatchRoundtrip(t *testing.T) {
+	f := func(host string, sent int64, seqs []uint64) bool {
+		in := UploadBatch{Host: topo.HostID(host), Sent: sim.Time(sent)}
+		for _, s := range seqs {
+			in.Results = append(in.Results, ProbeResult{
+				Seq:   s,
+				SrcIP: netip.AddrFrom4([4]byte{10, 0, byte(s), byte(s >> 8)}),
+				DstIP: netip.AddrFrom4([4]byte{10, 1, byte(s), byte(s >> 8)}),
+			})
+		}
+		data, err := json.Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out UploadBatch
+		if err := json.Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if out.Host != in.Host || out.Sent != in.Sent || len(out.Results) != len(in.Results) {
+			return false
+		}
+		for i := range in.Results {
+			if out.Results[i].Seq != in.Results[i].Seq || out.Results[i].SrcIP != in.Results[i].SrcIP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package rnic
+
+import "rpingmesh/internal/sim"
+
+// Clock models an unsynchronized device clock: a fixed offset from true
+// simulation time plus a constant drift rate.
+//
+// The paper's central measurement claim is that the probe algebra
+// (⑤-②)-(④-③) recovers the network RTT without any clock synchronization
+// between the prober RNIC, the responder RNIC, and the host CPUs. Giving
+// every device an arbitrary offset (and optionally drift) lets tests prove
+// that property instead of assuming it.
+type Clock struct {
+	// Offset is added to true time.
+	Offset sim.Time
+	// DriftPPM is parts-per-million of clock rate error (positive runs
+	// fast). Real RNIC oscillators are within ±50 ppm.
+	DriftPPM float64
+}
+
+// Read returns the device-clock reading at true simulation time now.
+func (c Clock) Read(now sim.Time) sim.Time {
+	return now + c.Offset + sim.Time(float64(now)*c.DriftPPM/1e6)
+}

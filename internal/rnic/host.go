@@ -1,0 +1,94 @@
+package rnic
+
+import (
+	"math/rand"
+
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Host models the server side of probing: the CPU clock the Agent reads
+// for its application-level timestamps (① and ⑥), the CPU load that
+// inflates end-host processing delay, and the host-down failure mode.
+//
+// The paper's Figure 2 point is that software-level RTT measurements are
+// polluted by exactly this processing delay, while the CQE algebra
+// separates it out — so the host must be a first-class noise source.
+type Host struct {
+	id    topo.HostID
+	eng   *sim.Engine
+	rng   *rand.Rand
+	clock Clock
+
+	devices []*Device
+
+	load float64 // 0.0 (idle) .. 1.0 (saturated)
+	down bool
+
+	// BaseDelay is the app-level scheduling+polling delay at idle.
+	// Defaults to 10µs.
+	BaseDelay sim.Time
+}
+
+// NewHost creates a host with the given CPU clock.
+func NewHost(eng *sim.Engine, id topo.HostID, clock Clock) *Host {
+	return &Host{
+		id:        id,
+		eng:       eng,
+		rng:       eng.SubRand("host/" + string(id)),
+		clock:     clock,
+		BaseDelay: 10 * sim.Microsecond,
+	}
+}
+
+// ID returns the host identifier.
+func (h *Host) ID() topo.HostID { return h.id }
+
+// Attach registers a device as installed in this host.
+func (h *Host) Attach(d *Device) { h.devices = append(h.devices, d) }
+
+// Devices returns the installed RNICs.
+func (h *Host) Devices() []*Device { return h.devices }
+
+// ReadClock returns the host CPU clock (unsynchronized with any RNIC
+// clock; the probe algebra must not depend on their relationship).
+func (h *Host) ReadClock() sim.Time { return h.clock.Read(h.eng.Now()) }
+
+// SetLoad sets the CPU load in [0,1]. Values are clamped.
+func (h *Host) SetLoad(load float64) {
+	if load < 0 {
+		load = 0
+	}
+	if load > 0.999 {
+		load = 0.999
+	}
+	h.load = load
+}
+
+// Load returns the current CPU load.
+func (h *Host) Load() float64 { return h.load }
+
+// SetDown models an accidental host down (#4): every device goes down and
+// the Agent on it stops uploading.
+func (h *Host) SetDown(down bool) {
+	h.down = down
+	for _, d := range h.devices {
+		d.SetUp(!down)
+	}
+}
+
+// Down reports whether the host is down.
+func (h *Host) Down() bool { return h.down }
+
+// ProcessingDelay samples the application-level delay between an event
+// becoming visible (CQE generated) and the Agent acting on it. It scales
+// as 1/(1-load): at idle ≈ BaseDelay, at 90 % load ≈ 10×, at 99 % load
+// (the paper's CPU-overload case) hundreds of microseconds to
+// milliseconds, with an exponential tail.
+func (h *Host) ProcessingDelay() sim.Time {
+	scale := 1.0 / (1.0 - h.load)
+	mean := float64(h.BaseDelay) * scale
+	// Half deterministic floor, half exponential jitter.
+	d := mean/2 + h.rng.ExpFloat64()*mean/2
+	return sim.Time(d)
+}

@@ -1,0 +1,81 @@
+package rnic
+
+import (
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Packet is one RoCE datagram on the wire: an RDMA message encapsulated
+// over UDP. The outer Tuple steers ECMP; the inner GID/QPN addressing
+// identifies the RDMA endpoints (the paper's "internal 4-tuple").
+type Packet struct {
+	Tuple ecmp.FiveTuple
+
+	SrcDev, DstDev topo.DeviceID
+	SrcGID, DstGID string
+	SrcQPN, DstQPN QPN
+	QPType         QPType
+
+	// Kind distinguishes RDMA messages from transport-level RC ACKs
+	// (which are invisible to the application).
+	Kind PacketKind
+
+	// Seq is the RC transport sequence number (retransmissions reuse it).
+	Seq uint64
+
+	// WRID echoes the work request that produced the packet.
+	WRID uint64
+
+	Payload []byte
+	// WireSize is the total on-wire size in bytes (headers + payload).
+	WireSize int
+
+	// SentAt is the true simulation time the packet left the source RNIC
+	// (set by the device, read by the network for diagnostics).
+	SentAt sim.Time
+}
+
+// PacketKind labels the transport role of a packet.
+type PacketKind int
+
+const (
+	// KindMessage is an application RDMA message (probe, ACK payload...).
+	KindMessage PacketKind = iota
+	// KindTransportAck is the RC hardware acknowledgement. It never
+	// surfaces as a CQE on the receiver; its arrival completes the
+	// sender's work request.
+	KindTransportAck
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindMessage:
+		return "msg"
+	case KindTransportAck:
+		return "rc-ack"
+	default:
+		return "unknown"
+	}
+}
+
+// roceHeaderBytes approximates Ethernet+IP+UDP+BTH(+DETH) framing overhead
+// of a RoCE v2 datagram.
+const roceHeaderBytes = 66
+
+// Network is the data plane the RNIC hands packets to. internal/simnet
+// implements it: it resolves the destination by IP, walks the ECMP path,
+// applies queuing delay / drops / PFC, and eventually calls Deliver on the
+// destination device.
+type Network interface {
+	// SendPacket takes ownership of p at the moment the packet hits the
+	// wire.
+	SendPacket(p *Packet)
+}
+
+// DropNetwork is a Network that silently discards everything; useful as a
+// default and in unit tests.
+type DropNetwork struct{ Dropped int }
+
+// SendPacket implements Network.
+func (d *DropNetwork) SendPacket(*Packet) { d.Dropped++ }

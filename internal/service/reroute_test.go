@@ -1,0 +1,137 @@
+package service_test
+
+import (
+	"testing"
+
+	"rpingmesh/internal/service"
+	"rpingmesh/internal/sim"
+)
+
+// Reroute (§7.3) changes the connection's ECMP path, keeps the job
+// healthy, and flows data over the new path.
+func TestRerouteChangesPath(t *testing.T) {
+	c := cluster(t, 21)
+	job, err := c.NewJob(service.Config{
+		Pattern:         service.AllReduce,
+		ComputeTime:     500 * sim.Millisecond,
+		VolumePerFlowGB: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * sim.Second)
+
+	// Find a cross-ToR connection (its path has ECMP choice).
+	conn := -1
+	for i := 0; i < job.Connections(); i++ {
+		if len(job.ConnPath(i)) > 2 {
+			conn = i
+			break
+		}
+	}
+	if conn < 0 {
+		t.Fatal("no cross-ToR connection in the ring")
+	}
+	orig := job.ConnPath(conn)
+	changed := false
+	for port := uint16(2000); port < 2500; port++ {
+		if err := job.Reroute(conn, port); err != nil {
+			t.Fatal(err)
+		}
+		now := job.ConnPath(conn)
+		if len(now) != len(orig) {
+			t.Fatalf("reroute changed path length: %d -> %d", len(orig), len(now))
+		}
+		for i := range now {
+			if now[i] != orig[i] {
+				changed = true
+			}
+		}
+		if changed {
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("no source port changed the path")
+	}
+	// Endpoints unchanged.
+	now := job.ConnPath(conn)
+	if c.Topo.Links[now[0]].From != c.Topo.Links[orig[0]].From ||
+		c.Topo.Links[now[len(now)-1]].To != c.Topo.Links[orig[len(orig)-1]].To {
+		t.Fatal("reroute changed the connection's endpoints")
+	}
+	// Training continues on the new path.
+	before := job.Iterations()
+	c.Run(15 * sim.Second)
+	if job.Iterations() <= before {
+		t.Fatal("job stalled after reroute")
+	}
+	if job.Failed() {
+		t.Fatal("job failed after reroute")
+	}
+}
+
+func TestRerouteValidation(t *testing.T) {
+	c := cluster(t, 22)
+	job, err := c.NewJob(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Reroute(-1, 1000); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := job.Reroute(job.Connections(), 1000); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if job.ConnPath(-1) != nil || job.ConnPath(job.Connections()) != nil {
+		t.Fatal("ConnPath out-of-range not nil")
+	}
+}
+
+// Agents follow a reroute: the old tuple leaves the service pinglist and
+// the new one arrives (via the verbs tracer's destroy+modify sequence).
+func TestAgentsFollowReroute(t *testing.T) {
+	c := cluster(t, 23)
+	c.StartAgents()
+	c.Run(5 * sim.Second)
+	job, err := c.NewJob(service.Config{Pattern: service.AllReduce, ComputeTime: sim.Second, VolumePerFlowGB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	countTargets := func() int {
+		total := 0
+		for _, hid := range c.Topo.AllHosts() {
+			for _, dev := range c.Topo.Hosts[hid].RNICs {
+				total += c.Agent(hid).ServiceTargets(dev)
+			}
+		}
+		return total
+	}
+	before := countTargets()
+	if before != job.Connections() {
+		t.Fatalf("targets before reroute = %d, want %d", before, job.Connections())
+	}
+	for i := 0; i < job.Connections(); i++ {
+		if err := job.Reroute(i, uint16(4000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := countTargets()
+	if after != job.Connections() {
+		t.Fatalf("targets after reroute = %d, want %d (stale tuples must be removed)", after, job.Connections())
+	}
+	c.Run(25 * sim.Second)
+	rep, _ := c.Analyzer.LastReport()
+	if rep.Service.Probes == 0 {
+		t.Fatal("no service probes after reroute")
+	}
+}

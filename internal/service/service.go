@@ -1,0 +1,428 @@
+// Package service models the DML workloads that R-Pingmesh is deployed
+// to protect (§2): iterative training that alternates compute and
+// communication phases, synchronizing gradients over RC connections with
+// AllReduce (ring) or All2All (full-mesh) patterns, with barrel-effect
+// throughput, periodic TCP checkpointing that idles the RoCE network and
+// loads the CPU, and failure when a connection stays broken.
+//
+// Connections are established through the verbs stacks — so the Agents'
+// service-flow monitor sees the modify_qp/destroy_qp calls — and carry
+// fluid flows in simnet with the same 5-tuples, so probes with copied
+// tuples share the service's ECMP paths.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/metrics"
+	"rpingmesh/internal/rnic"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
+	"rpingmesh/internal/topo"
+	"rpingmesh/internal/verbs"
+)
+
+// Pattern is the collective-communication shape.
+type Pattern int
+
+const (
+	// AllReduce is a ring: host i talks to host i+1 (mod n), NIC by NIC.
+	// Light congestion.
+	AllReduce Pattern = iota
+	// All2All connects every host pair (NIC-index to NIC-index). Heavy
+	// congestion from incast and hash collisions.
+	All2All
+)
+
+func (p Pattern) String() string {
+	if p == All2All {
+		return "all2all"
+	}
+	return "allreduce"
+}
+
+// Participant is one host in the job.
+type Participant struct {
+	Stack   *verbs.Stack
+	Devices []*rnic.Device
+}
+
+// Config parameterizes a training job.
+type Config struct {
+	Pattern Pattern
+	// ComputeTime is the per-iteration compute phase at factor 1.0.
+	// Defaults to 2 s ("each cycle takes only a few seconds", §2.2).
+	ComputeTime sim.Time
+	// VolumePerFlowGB is the data each connection must move per
+	// iteration. Defaults to 20 GB (~0.4 s at 400 G).
+	VolumePerFlowGB float64
+	// DemandGbps is the per-flow offered load during communication.
+	// Defaults to 400.
+	DemandGbps float64
+	// CheckpointEvery counts iterations between checkpoints; 0 disables.
+	CheckpointEvery int
+	// CheckpointDuration is the TCP-upload phase length (network idle,
+	// CPU busy). Defaults to 20 s.
+	CheckpointDuration sim.Time
+	// CheckpointLoad is the host CPU load during checkpoints (TCP is CPU
+	// intensive, §2.3). Defaults to 0.95.
+	CheckpointLoad float64
+	// StallFailAfter breaks the job if communication cannot finish for
+	// this long (the RC retry budget exhausting, §7.1). Defaults 2 min.
+	StallFailAfter sim.Time
+	// PerfSampleInterval is the throughput sampling period. Default 5 s.
+	PerfSampleInterval sim.Time
+	// Seed salts the connection source ports.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.ComputeTime <= 0 {
+		c.ComputeTime = 2 * sim.Second
+	}
+	if c.VolumePerFlowGB <= 0 {
+		c.VolumePerFlowGB = 20
+	}
+	if c.DemandGbps <= 0 {
+		c.DemandGbps = 400
+	}
+	if c.CheckpointDuration <= 0 {
+		c.CheckpointDuration = 20 * sim.Second
+	}
+	if c.CheckpointLoad <= 0 {
+		c.CheckpointLoad = 0.95
+	}
+	if c.StallFailAfter <= 0 {
+		c.StallFailAfter = 2 * sim.Minute
+	}
+	if c.PerfSampleInterval <= 0 {
+		c.PerfSampleInterval = 5 * sim.Second
+	}
+}
+
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseCompute
+	phaseComm
+	phaseCheckpoint
+	phaseFailed
+	phaseStopped
+)
+
+// conn is one RC connection + its fluid flow.
+type conn struct {
+	srcPart     *Participant
+	srcDev      *rnic.Device
+	dstDev      *rnic.Device
+	dstQPN      rnic.QPN
+	qp          *rnic.QP
+	flow        *simnet.Flow
+	transferred float64 // GB moved this iteration
+}
+
+// Job is a running training task.
+type Job struct {
+	eng   *sim.Engine
+	net   *simnet.Net
+	parts []Participant
+	cfg   Config
+	rng   *rand.Rand
+
+	conns []*conn
+	phase phase
+
+	iter          int
+	iterStart     sim.Time
+	commStart     sim.Time
+	lastTotal     float64 // GB at last perf sample
+	totalMoved    float64
+	computeFactor map[topo.HostID]float64
+
+	// Throughput is the sampled aggregate goodput in Gbps (the "average
+	// training throughput" of Fig 1/Fig 5a).
+	Throughput metrics.Series
+
+	// OnPerfSample, if set, receives every throughput sample (wired to
+	// Analyzer.ObserveServicePerf).
+	OnPerfSample func(gbps float64)
+
+	perfTicker *sim.Ticker
+	iterEvent  sim.Handle
+	commTicker *sim.Ticker
+}
+
+// NewJob builds (but does not start) a job across the participants.
+func NewJob(eng *sim.Engine, net *simnet.Net, parts []Participant, cfg Config) (*Job, error) {
+	cfg.setDefaults()
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("service: need at least 2 participants, got %d", len(parts))
+	}
+	j := &Job{
+		eng:           eng,
+		net:           net,
+		parts:         parts,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed + 7)),
+		computeFactor: make(map[topo.HostID]float64),
+		Throughput:    metrics.Series{Name: "training-throughput", Unit: "Gbps"},
+	}
+	return j, nil
+}
+
+// Iterations returns the number of completed iterations.
+func (j *Job) Iterations() int { return j.iter }
+
+// Failed reports whether the job died (broken connection past the stall
+// budget — the paper's task failure).
+func (j *Job) Failed() bool { return j.phase == phaseFailed }
+
+// Running reports whether the job is live.
+func (j *Job) Running() bool {
+	return j.phase == phaseCompute || j.phase == phaseComm || j.phase == phaseCheckpoint
+}
+
+// SetComputeFactor slows (factor > 1) or speeds a host's compute phase —
+// GPU underclocking and the Fig-9 training-code bug are modeled this way.
+func (j *Job) SetComputeFactor(h topo.HostID, f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	j.computeFactor[h] = f
+}
+
+// Connections returns the number of live connections.
+func (j *Job) Connections() int { return len(j.conns) }
+
+// FlowPaths returns the pinned ECMP path of every live connection, in
+// connection order (experiments use these to place faults on the service
+// network deliberately).
+func (j *Job) FlowPaths() [][]topo.LinkID {
+	out := make([][]topo.LinkID, len(j.conns))
+	for i, c := range j.conns {
+		out[i] = append([]topo.LinkID(nil), c.flow.Path...)
+	}
+	return out
+}
+
+// Start establishes all connections and begins the first iteration.
+func (j *Job) Start() error {
+	if j.phase != phaseIdle {
+		return fmt.Errorf("service: job already started")
+	}
+	if err := j.connectAll(); err != nil {
+		j.teardown()
+		return err
+	}
+	j.perfTicker = j.eng.Every(j.cfg.PerfSampleInterval, j.cfg.PerfSampleInterval, j.samplePerf)
+	j.iterStart = j.eng.Now()
+	j.beginCompute()
+	return nil
+}
+
+// Stop tears the job down cleanly (training complete).
+func (j *Job) Stop() {
+	if j.phase == phaseStopped {
+		return
+	}
+	j.phase = phaseStopped
+	j.teardown()
+}
+
+func (j *Job) teardown() {
+	if j.perfTicker != nil {
+		j.perfTicker.Stop()
+	}
+	if j.commTicker != nil {
+		j.commTicker.Stop()
+	}
+	j.iterEvent.Cancel()
+	for _, c := range j.conns {
+		j.net.RemoveFlow(c.flow.ID)
+		c.srcPart.Stack.DestroyQP(c.srcDev, c.qp)
+	}
+	j.conns = nil
+}
+
+// connectAll builds the communication pattern's RC connections.
+func (j *Job) connectAll() error {
+	type pair struct{ si, di int }
+	var pairs []pair
+	n := len(j.parts)
+	switch j.cfg.Pattern {
+	case AllReduce:
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, pair{i, (i + 1) % n})
+		}
+	case All2All:
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if i != k {
+					pairs = append(pairs, pair{i, k})
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("service: unknown pattern %v", j.cfg.Pattern)
+	}
+	for _, p := range pairs {
+		src, dst := &j.parts[p.si], &j.parts[p.di]
+		nics := min(len(src.Devices), len(dst.Devices))
+		for idx := 0; idx < nics; idx++ {
+			if err := j.connectOne(src, src.Devices[idx], dst, dst.Devices[idx]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (j *Job) connectOne(srcPart *Participant, srcDev *rnic.Device, dstPart *Participant, dstDev *rnic.Device) error {
+	port := uint16(j.rng.Intn(60000-1024) + 1024)
+	dstQP := dstPart.Stack.CreateQP(dstDev, rnic.RC)
+	srcQP := srcPart.Stack.CreateQP(srcDev, rnic.RC)
+	if err := srcPart.Stack.ModifyQPToRTS(srcDev, srcQP, port, dstDev.IP(), dstDev.GID(), dstQP.QPN()); err != nil {
+		return err
+	}
+	flow, err := j.net.AddFlow(simnet.FlowSpec{
+		Src: srcDev.ID(), Dst: dstDev.ID(),
+		Tuple:      ecmp.RoCETuple(srcDev.IP(), dstDev.IP(), port),
+		DemandGbps: 0, // idle until the first comm phase
+	})
+	if err != nil {
+		srcPart.Stack.DestroyQP(srcDev, srcQP)
+		return err
+	}
+	j.conns = append(j.conns, &conn{
+		srcPart: srcPart, srcDev: srcDev,
+		dstDev: dstDev, dstQPN: dstQP.QPN(),
+		qp: srcQP, flow: flow,
+	})
+	return nil
+}
+
+// Reroute changes connection i's source port by re-issuing modify_qp —
+// the paper's centralized load-balancing action (§7.3): ECMP re-hashes
+// the flow onto a different parallel path, the verbs tracer tells the
+// Agents, and service-tracing probes follow.
+func (j *Job) Reroute(i int, newPort uint16) error {
+	if i < 0 || i >= len(j.conns) {
+		return fmt.Errorf("service: no connection %d", i)
+	}
+	c := j.conns[i]
+	if err := c.srcPart.Stack.ModifyQPToRTS(c.srcDev, c.qp, newPort, c.dstDev.IP(), c.dstDev.GID(), c.dstQPN); err != nil {
+		return err
+	}
+	return j.net.RerouteFlow(c.flow.ID, ecmp.RoCETuple(c.srcDev.IP(), c.dstDev.IP(), newPort))
+}
+
+// ConnPath returns connection i's current pinned path.
+func (j *Job) ConnPath(i int) []topo.LinkID {
+	if i < 0 || i >= len(j.conns) {
+		return nil
+	}
+	return append([]topo.LinkID(nil), j.conns[i].flow.Path...)
+}
+
+// beginCompute starts a compute phase whose length is set by the slowest
+// participant (barrel effect).
+func (j *Job) beginCompute() {
+	j.phase = phaseCompute
+	dur := float64(j.cfg.ComputeTime)
+	for _, p := range j.parts {
+		if f, ok := j.computeFactor[p.Stack.Host().ID()]; ok && f > 1 {
+			if d := float64(j.cfg.ComputeTime) * f; d > dur {
+				dur = d
+			}
+		}
+	}
+	j.iterEvent = j.eng.After(sim.Time(dur), j.beginComm)
+}
+
+// beginComm opens the gradient-synchronization phase: all flows offer
+// full demand until every connection has moved its volume.
+func (j *Job) beginComm() {
+	j.phase = phaseComm
+	j.commStart = j.eng.Now()
+	for _, c := range j.conns {
+		c.transferred = 0
+		j.net.SetFlowDemand(c.flow.ID, j.cfg.DemandGbps)
+	}
+	j.commTicker = j.eng.Every(50*sim.Millisecond, 50*sim.Millisecond, j.commTick)
+}
+
+func (j *Job) commTick() {
+	if j.phase != phaseComm {
+		return
+	}
+	const dt = 0.05 // seconds per tick
+	done := true
+	for _, c := range j.conns {
+		if c.transferred < j.cfg.VolumePerFlowGB {
+			moved := c.flow.Rate() * dt / 8 // Gbps -> GB
+			c.transferred += moved
+			j.totalMoved += moved
+			if c.transferred < j.cfg.VolumePerFlowGB {
+				done = false
+			}
+		}
+	}
+	if done {
+		j.commTicker.Stop()
+		j.endIteration()
+		return
+	}
+	if j.eng.Now()-j.commStart > j.cfg.StallFailAfter {
+		// Retransmission budget exhausted: connections break, the task
+		// fails (§7.1 #1/#3/#4).
+		j.phase = phaseFailed
+		j.teardown()
+	}
+}
+
+func (j *Job) endIteration() {
+	j.iter++
+	for _, c := range j.conns {
+		j.net.SetFlowDemand(c.flow.ID, 0)
+	}
+	if j.cfg.CheckpointEvery > 0 && j.iter%j.cfg.CheckpointEvery == 0 {
+		j.beginCheckpoint()
+		return
+	}
+	j.iterStart = j.eng.Now()
+	j.beginCompute()
+}
+
+// beginCheckpoint idles the RoCE network and loads every host's CPU with
+// the TCP model upload (§2.3 case 2, Fig 5).
+func (j *Job) beginCheckpoint() {
+	j.phase = phaseCheckpoint
+	restore := make([]float64, len(j.parts))
+	for i, p := range j.parts {
+		restore[i] = p.Stack.Host().Load()
+		p.Stack.Host().SetLoad(j.cfg.CheckpointLoad)
+	}
+	j.iterEvent = j.eng.After(j.cfg.CheckpointDuration, func() {
+		for i, p := range j.parts {
+			p.Stack.Host().SetLoad(restore[i])
+		}
+		if j.phase == phaseCheckpoint {
+			j.iterStart = j.eng.Now()
+			j.beginCompute()
+		}
+	})
+}
+
+// samplePerf records the aggregate goodput over the last sample period.
+func (j *Job) samplePerf() {
+	dt := j.cfg.PerfSampleInterval.Seconds()
+	gbps := (j.totalMoved - j.lastTotal) * 8 / dt
+	j.lastTotal = j.totalMoved
+	j.Throughput.Append(j.eng.Now().Seconds(), gbps)
+	if j.OnPerfSample != nil {
+		j.OnPerfSample(gbps)
+	}
+}

@@ -1,0 +1,271 @@
+package service_test
+
+import (
+	"testing"
+
+	"rpingmesh/internal/core"
+	"rpingmesh/internal/service"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+func cluster(t testing.TB, seed int64) *core.Cluster {
+	t.Helper()
+	tp, err := topo.BuildClos(topo.ClosConfig{
+		Pods: 1, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2,
+		HostsPerToR: 2, RNICsPerHost: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCluster(core.Config{Topology: tp, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestJobIteratesAndMovesData(t *testing.T) {
+	c := cluster(t, 1)
+	job, err := c.NewJob(service.Config{
+		Pattern:         service.AllReduce,
+		ComputeTime:     sim.Second,
+		VolumePerFlowGB: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if job.Connections() == 0 {
+		t.Fatal("no connections established")
+	}
+	c.Run(30 * sim.Second)
+	if job.Iterations() < 5 {
+		t.Fatalf("iterations = %d, want several in 30s", job.Iterations())
+	}
+	if job.Failed() {
+		t.Fatal("healthy job failed")
+	}
+	if !job.Running() {
+		t.Fatal("job not running")
+	}
+	if job.Throughput.Last() <= 0 && job.Throughput.MeanOver(0, 30) <= 0 {
+		t.Fatalf("no throughput recorded: %+v", job.Throughput.Points)
+	}
+	job.Stop()
+	if job.Running() {
+		t.Fatal("job running after Stop")
+	}
+	iters := job.Iterations()
+	c.Run(10 * sim.Second)
+	if job.Iterations() != iters {
+		t.Fatal("stopped job kept iterating")
+	}
+}
+
+func TestJobNeedsTwoParticipants(t *testing.T) {
+	c := cluster(t, 2)
+	if _, err := c.NewJob(service.Config{}, c.Topo.AllHosts()[0]); err == nil {
+		t.Fatal("single-participant job accepted")
+	}
+}
+
+func TestAll2AllHasMoreConnections(t *testing.T) {
+	c := cluster(t, 3)
+	ring, err := c.NewJob(service.Config{Pattern: service.AllReduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.NewJob(service.Config{Pattern: service.All2All})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ringConns := ring.Connections()
+	ring.Stop()
+	if err := full.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fullConns := full.Connections()
+	full.Stop()
+	n := len(c.Topo.AllHosts())
+	nics := 2
+	if ringConns != n*nics {
+		t.Fatalf("ring connections = %d, want %d", ringConns, n*nics)
+	}
+	if fullConns != n*(n-1)*nics {
+		t.Fatalf("all2all connections = %d, want %d", fullConns, n*(n-1)*nics)
+	}
+}
+
+func TestAgentsSeeServiceConnections(t *testing.T) {
+	c := cluster(t, 4)
+	c.StartAgents()
+	c.Run(5 * sim.Second)
+	job, err := c.NewJob(service.Config{Pattern: service.AllReduce, ComputeTime: sim.Second, VolumePerFlowGB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Every host's agent should hold service-tracing targets now.
+	total := 0
+	for _, hid := range c.Topo.AllHosts() {
+		for _, dev := range c.Topo.Hosts[hid].RNICs {
+			total += c.Agent(hid).ServiceTargets(dev)
+		}
+	}
+	if total != job.Connections() {
+		t.Fatalf("agents track %d service targets, want %d", total, job.Connections())
+	}
+	c.Run(45 * sim.Second)
+	rep, _ := c.Analyzer.LastReport()
+	if rep.Service.Probes == 0 {
+		t.Fatal("no service-tracing probes during the job")
+	}
+	job.Stop()
+	total = 0
+	for _, hid := range c.Topo.AllHosts() {
+		for _, dev := range c.Topo.Hosts[hid].RNICs {
+			total += c.Agent(hid).ServiceTargets(dev)
+		}
+	}
+	if total != 0 {
+		t.Fatalf("service targets remain after job stop: %d", total)
+	}
+}
+
+func TestBarrelEffectSlowHost(t *testing.T) {
+	run := func(slowFactor float64) float64 {
+		c := cluster(t, 5)
+		job, err := c.NewJob(service.Config{
+			Pattern:         service.AllReduce,
+			ComputeTime:     sim.Second,
+			VolumePerFlowGB: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slowFactor > 1 {
+			job.SetComputeFactor(c.Topo.AllHosts()[0], slowFactor)
+		}
+		if err := job.Start(); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(60 * sim.Second)
+		return float64(job.Iterations())
+	}
+	base := run(1)
+	slow := run(3)
+	if slow >= base*0.7 {
+		t.Fatalf("one slow host barely affected the cluster: %v vs %v iterations (barrel effect missing)", slow, base)
+	}
+}
+
+func TestLinkDownStallsAndFailsJob(t *testing.T) {
+	c := cluster(t, 6)
+	job, err := c.NewJob(service.Config{
+		Pattern:         service.AllReduce,
+		ComputeTime:     sim.Second,
+		VolumePerFlowGB: 5,
+		StallFailAfter:  30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * sim.Second)
+	thrBefore := job.Throughput.MeanOver(0, 10)
+	if thrBefore <= 0 {
+		t.Fatal("no baseline throughput")
+	}
+	// Cut a ToR uplink cable used by some ring flow: every flow crossing
+	// it blocks, and the barrel effect stalls the whole job.
+	c.Net.SetLinkDown(c.Topo.LinkBetween("tor-0-0", "agg-0-0"), true)
+	c.Run(60 * sim.Second)
+	// Either the job failed (stall budget) or throughput collapsed.
+	if !job.Failed() {
+		after := job.Throughput.MeanOver(30, 70)
+		if after > thrBefore/2 {
+			t.Fatalf("link down did not degrade the job: %v -> %v", thrBefore, after)
+		}
+	}
+}
+
+func TestCheckpointIdlesNetworkAndLoadsCPU(t *testing.T) {
+	c := cluster(t, 7)
+	job, err := c.NewJob(service.Config{
+		Pattern:            service.AllReduce,
+		ComputeTime:        500 * sim.Millisecond,
+		VolumePerFlowGB:    2,
+		CheckpointEvery:    3,
+		CheckpointDuration: 10 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run until the first checkpoint begins (3 iterations x ~1s each).
+	sawHighLoad := false
+	for i := 0; i < 200 && !sawHighLoad; i++ {
+		c.Run(500 * sim.Millisecond)
+		for _, hid := range c.Topo.AllHosts() {
+			if c.Host(hid).Host.Load() > 0.9 {
+				sawHighLoad = true
+			}
+		}
+	}
+	if !sawHighLoad {
+		t.Fatal("checkpoint never loaded the CPUs")
+	}
+	// Checkpoints recur, so poll until a moment when every host's load is
+	// back to normal (the checkpoint ended and training resumed).
+	recovered := false
+	for i := 0; i < 120 && !recovered; i++ {
+		c.Run(500 * sim.Millisecond)
+		recovered = true
+		for _, hid := range c.Topo.AllHosts() {
+			if c.Host(hid).Host.Load() > 0.9 {
+				recovered = false
+			}
+		}
+	}
+	if !recovered {
+		t.Fatal("CPU load stuck high after checkpoint")
+	}
+	c.Run(5 * sim.Second) // let post-checkpoint iterations finish
+	if job.Iterations() < 4 {
+		t.Fatalf("iterations after checkpoint = %d", job.Iterations())
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if service.AllReduce.String() != "allreduce" || service.All2All.String() != "all2all" {
+		t.Fatal("Pattern.String")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	c := cluster(t, 8)
+	job, err := c.NewJob(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	job.Stop()
+	job.Stop() // idempotent
+}

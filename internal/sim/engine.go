@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, and seeded random number streams.
+//
+// All of R-Pingmesh's substrates (the software RNICs, the network data
+// plane, the DML service model) and the R-Pingmesh modules themselves run
+// on this engine, so a thirty-minute experiment executes in seconds and
+// every run is reproducible from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time measured in nanoseconds since the start
+// of the run. It deliberately mirrors time.Duration so the paper's real
+// intervals (500ms probe timeout, 5s upload, 20s analysis window...) can be
+// used verbatim.
+type Time int64
+
+// Common conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// FromDuration converts a time.Duration to a sim.Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts a sim.Time to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events fire in (time, seq) order; seq
+// breaks ties in scheduling order so the simulation is deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all actors run inside event callbacks.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine whose random stream is derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's random stream. Substrates should derive their
+// randomness from it (or from SubRand) so runs are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SubRand returns an independent random stream deterministically derived
+// from the engine seed and the given label, so adding randomness in one
+// module does not perturb another.
+func (e *Engine) SubRand(label string) *rand.Rand {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(e.rng.Int63())
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// the current instant) fires the event at the current time, after all
+// events already scheduled for that time.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) Handle { return e.At(e.now+d, fn) }
+
+// Every schedules fn to run every period, starting at now+offset, until the
+// returned Ticker is stopped or the engine stops.
+func (e *Engine) Every(offset, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %d", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.handle = e.After(offset, t.tick)
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual-time period.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped && !t.engine.stopped {
+		t.handle = t.engine.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Fired reports how many events have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run executes events until the queue is empty or the engine is stopped.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events until virtual time exceeds deadline, the queue
+// empties, or the engine is stopped. The clock is left at deadline if the
+// queue ran dry earlier events permitting.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.dead {
+		return
+	}
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+}

@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"fmt"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/topo"
+)
+
+// FlowID identifies a fluid service flow.
+type FlowID int64
+
+// CongestionControl builds per-flow rate-control state. Implementations
+// live in internal/cc (DCQCN and the paper's improved algorithm).
+type CongestionControl interface {
+	// NewFlowState is called once per flow with its bottleneck line rate.
+	NewFlowState(lineRateGbps float64) FlowCC
+}
+
+// FlowCC is the per-flow controller.
+type FlowCC interface {
+	// Update returns the new sending rate given the current rate, whether
+	// any link on the path ECN-marked during the last tick, and the tick
+	// length in seconds.
+	Update(rateGbps float64, ecnMarked bool, dtSec float64) float64
+}
+
+// FlowSpec describes a fluid service flow.
+type FlowSpec struct {
+	Src, Dst topo.DeviceID
+	// Tuple steers ECMP; the flow keeps this path for its lifetime
+	// (RDMA connections are long-lived, §7.3).
+	Tuple ecmp.FiveTuple
+	// DemandGbps is the application offered load.
+	DemandGbps float64
+}
+
+// Flow is a live fluid flow.
+type Flow struct {
+	ID      FlowID
+	Spec    FlowSpec
+	Path    []topo.LinkID
+	cc      FlowCC
+	ccRate  float64 // rate allowed by congestion control
+	rate    float64 // achieved rate after capacity scaling
+	blocked bool
+}
+
+// Rate returns the flow's achieved rate in Gbps as of the last tick.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// AddFlow installs a fluid flow and returns its handle. The path is
+// pinned at creation from the tuple's ECMP hashes.
+func (n *Net) AddFlow(spec FlowSpec) (*Flow, error) {
+	path, err := n.topo.Route(spec.Src, spec.Dst, spec.Tuple.Hasher())
+	if err != nil {
+		return nil, fmt.Errorf("simnet: flow route: %w", err)
+	}
+	line := 0.0
+	for _, l := range path {
+		if c := n.topo.Links[l].CapacityGbps; line == 0 || c < line {
+			line = c
+		}
+	}
+	f := &Flow{ID: n.nextID, Spec: spec, Path: path, ccRate: line}
+	n.nextID++
+	if n.cfg.CC != nil {
+		f.cc = n.cfg.CC.NewFlowState(line)
+	}
+	n.flows[f.ID] = f
+	n.armTick()
+	return f, nil
+}
+
+// RemoveFlow tears down a flow.
+func (n *Net) RemoveFlow(id FlowID) { delete(n.flows, id) }
+
+// SetFlowDemand changes a flow's offered load (services alternate between
+// compute phases with zero demand and communication bursts at line rate).
+func (n *Net) SetFlowDemand(id FlowID, gbps float64) {
+	if f, ok := n.flows[id]; ok {
+		f.Spec.DemandGbps = gbps
+	}
+}
+
+// Flows returns the number of live flows.
+func (n *Net) Flows() int { return len(n.flows) }
+
+// RerouteFlow re-pins a flow's path using a new tuple (the paper's
+// centralized load-balancing action: the service calls modify_qp to change
+// the source port of a congested flow, §7.3).
+func (n *Net) RerouteFlow(id FlowID, tuple ecmp.FiveTuple) error {
+	f, ok := n.flows[id]
+	if !ok {
+		return fmt.Errorf("simnet: unknown flow %d", id)
+	}
+	path, err := n.topo.Route(f.Spec.Src, f.Spec.Dst, tuple.Hasher())
+	if err != nil {
+		return err
+	}
+	f.Spec.Tuple = tuple
+	f.Path = path
+	return nil
+}
+
+// lossCollapseFactor maps a path packet-loss probability to an RDMA
+// goodput factor. RoCE (go-back-N at the transport) collapses under even
+// small loss: 1 % loss is enough to stall a 400 G flow almost completely
+// (the premise of the paper's Figure 1).
+func lossCollapseFactor(p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	f := 1 - 60*p
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// tick advances the fluid model by one step.
+func (n *Net) tick() {
+	dt := n.cfg.Tick.Seconds()
+
+	// Phase 1: desired rate per flow = demand ∧ ccRate, with loss/blocked
+	// collapse applied. A flow is also blocked when either endpoint RNIC
+	// is down or misconfigured.
+	for _, f := range n.flows {
+		f.blocked = false
+		for _, end := range [2]topo.DeviceID{f.Spec.Src, f.Spec.Dst} {
+			if dev, ok := n.devs[end]; ok && (!dev.Up() || dev.Misconfigured()) {
+				f.blocked = true
+			}
+		}
+		worstLoss := 0.0
+		for _, l := range f.Path {
+			if f.blocked {
+				break
+			}
+			ls := n.links[l]
+			if ls.down || ls.pfcBlocked {
+				f.blocked = true
+				break
+			}
+			if n.eng.Now() < ls.unstableUntil {
+				// Go-back-N retransmission storms right after a flap.
+				worstLoss = max(worstLoss, 0.05)
+			}
+			if ls.dropProb > worstLoss {
+				worstLoss = ls.dropProb
+			}
+			if ls.badHeadroom && ls.queueBytes > 0.85*n.cfg.MaxQueueBytes {
+				worstLoss = max(worstLoss, 0.02)
+			}
+		}
+		desired := f.Spec.DemandGbps
+		if f.cc != nil {
+			desired = min(desired, f.ccRate)
+		}
+		if f.blocked {
+			desired = 0
+		} else {
+			desired *= lossCollapseFactor(worstLoss)
+		}
+		f.rate = desired
+	}
+
+	// Phase 2: per-link offered load from desired rates; scale flows down
+	// by the most-congested link on their path (max-min approximation).
+	for _, ls := range n.links {
+		ls.offeredGbps = 0
+	}
+	for _, f := range n.flows {
+		for _, l := range f.Path {
+			n.links[l].offeredGbps += f.rate
+		}
+	}
+	for _, f := range n.flows {
+		scale := 1.0
+		for _, l := range f.Path {
+			ls := n.links[l]
+			if ls.offeredGbps > ls.link.CapacityGbps {
+				scale = min(scale, ls.link.CapacityGbps/ls.offeredGbps)
+			}
+		}
+		f.rate *= scale
+	}
+
+	// Phase 3: queue integration and ECN marking. Queues grow with the
+	// unscaled (offered) excess — this is the congestion the probes see —
+	// and drain when offered load is below capacity.
+	for _, ls := range n.links {
+		excess := ls.offeredGbps - ls.link.CapacityGbps
+		ls.queueBytes += excess * dt * 1e9 / 8
+		if ls.queueBytes < 0 {
+			ls.queueBytes = 0
+		}
+		if ls.queueBytes > n.cfg.MaxQueueBytes {
+			ls.queueBytes = n.cfg.MaxQueueBytes
+		}
+		ls.ecn = ls.queueBytes > n.cfg.ECNThresholdBytes
+	}
+
+	// Phase 4: congestion-control update per flow.
+	for _, f := range n.flows {
+		if f.cc == nil {
+			continue
+		}
+		ecn := false
+		for _, l := range f.Path {
+			if n.links[l].ecn {
+				ecn = true
+				break
+			}
+		}
+		f.ccRate = f.cc.Update(max(f.ccRate, 0.1), ecn, dt)
+	}
+}

@@ -1,0 +1,386 @@
+// Package simnet is the RoCE data plane of the reproduction: it carries
+// probe packets hop-by-hop over the topology with queueing delay, drops,
+// PFC pathologies and ACL filtering, and carries service traffic as fluid
+// flows whose rates react to congestion through a pluggable congestion
+// controller (internal/cc).
+//
+// Two granularities coexist by design (see DESIGN.md):
+//
+//   - Probes and ACKs are discrete packets. Their per-hop latency reads
+//     the fluid queue state, so probe RTT faithfully reflects congestion
+//     caused by service traffic — the mechanism behind the paper's
+//     Figures 5, 8, 10 and 11.
+//   - Service flows are fluid: every tick (default 1 ms) per-link offered
+//     load is computed, rates are scaled to capacity, queues integrate the
+//     excess, and ECN feedback drives the congestion controller.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/rnic"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// DropCause classifies where/why the network dropped a packet. This is
+// simulator ground truth, used to score the Analyzer's localization
+// accuracy — the real system never sees it.
+type DropCause int
+
+const (
+	// DropNone means delivered.
+	DropNone DropCause = iota
+	// DropLinkDown: the link (or its cable) was administratively or
+	// physically down, including flap windows.
+	DropLinkDown
+	// DropCorrupt: per-link random corruption (damaged fiber, #2).
+	DropCorrupt
+	// DropPFC: the link was blocked by a PFC deadlock or storm (#5).
+	DropPFC
+	// DropACL: a switch ACL denied the 5-tuple (#8).
+	DropACL
+	// DropHeadroom: packet lost during heavy congestion on a link with
+	// unconfigured/misconfigured PFC headroom (#9).
+	DropHeadroom
+	// DropNoRoute: destination IP unknown or routing failed.
+	DropNoRoute
+)
+
+func (c DropCause) String() string {
+	switch c {
+	case DropNone:
+		return "none"
+	case DropLinkDown:
+		return "link-down"
+	case DropCorrupt:
+		return "corrupt"
+	case DropPFC:
+		return "pfc"
+	case DropACL:
+		return "acl"
+	case DropHeadroom:
+		return "headroom"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// LinkStats aggregates per-directed-link ground truth.
+type LinkStats struct {
+	Delivered int64
+	Drops     map[DropCause]int64
+}
+
+// Config parameterizes the data plane.
+type Config struct {
+	// PropDelay is per-hop propagation plus switch pipeline latency.
+	// Defaults to 600 ns (≈ 100 m fiber + cut-through switching).
+	PropDelay sim.Time
+	// Tick is the fluid-model update period. Defaults to 1 ms.
+	Tick sim.Time
+	// MaxQueueBytes caps each link's queue (switch buffer + PFC headroom).
+	// Defaults to 8 MiB per link.
+	MaxQueueBytes float64
+	// ECNThresholdBytes is the queue depth that begins ECN marking.
+	// Defaults to 1 MiB.
+	ECNThresholdBytes float64
+	// CC builds per-flow congestion control state. Nil means flows always
+	// send at their demand (no congestion control).
+	CC CongestionControl
+}
+
+func (c *Config) setDefaults() {
+	if c.PropDelay <= 0 {
+		c.PropDelay = 600 * sim.Nanosecond
+	}
+	if c.Tick <= 0 {
+		c.Tick = sim.Millisecond
+	}
+	if c.MaxQueueBytes <= 0 {
+		c.MaxQueueBytes = 8 << 20
+	}
+	if c.ECNThresholdBytes <= 0 {
+		c.ECNThresholdBytes = 1 << 20
+	}
+}
+
+type linkState struct {
+	link *topo.Link
+
+	down        bool
+	pfcBlocked  bool
+	dropProb    float64
+	badHeadroom bool
+	extraDelay  sim.Time // standing PFC-pause wait (storms, #13/#14)
+	// unstableUntil marks the post-flap stabilization window: packets
+	// dropped during the down phase trigger go-back-N storms when the
+	// link returns, so RoCE goodput through a recently-flapped link stays
+	// collapsed (the Figure-1 mechanism).
+	unstableUntil sim.Time
+
+	// Fluid state.
+	queueBytes  float64
+	offeredGbps float64
+	ecn         bool
+
+	stats LinkStats
+}
+
+type aclKey struct {
+	sw       topo.DeviceID
+	src, dst netip.Addr
+}
+
+// Net is the simulated RoCE fabric. It implements rnic.Network.
+type Net struct {
+	eng  *sim.Engine
+	topo *topo.Topology
+	cfg  Config
+	rng  *rand.Rand
+
+	devs    map[topo.DeviceID]*rnic.Device
+	devByIP map[netip.Addr]*rnic.Device
+
+	links []*linkState
+
+	aclDeny map[aclKey]bool
+
+	flows     map[FlowID]*Flow
+	nextID    FlowID
+	tickArmed bool
+}
+
+// New builds the data plane over a topology.
+func New(eng *sim.Engine, tp *topo.Topology, cfg Config) *Net {
+	cfg.setDefaults()
+	n := &Net{
+		eng:     eng,
+		topo:    tp,
+		cfg:     cfg,
+		rng:     eng.SubRand("simnet"),
+		devs:    make(map[topo.DeviceID]*rnic.Device),
+		devByIP: make(map[netip.Addr]*rnic.Device),
+		links:   make([]*linkState, len(tp.Links)),
+		aclDeny: make(map[aclKey]bool),
+		flows:   make(map[FlowID]*Flow),
+	}
+	for i, l := range tp.Links {
+		n.links[i] = &linkState{link: l, stats: LinkStats{Drops: make(map[DropCause]int64)}}
+	}
+	return n
+}
+
+// armTick schedules the next fluid-model update. The model only ticks
+// while there is fluid state to evolve (live flows or standing queues), so
+// probe-only simulations can drain the event queue completely.
+func (n *Net) armTick() {
+	if n.tickArmed {
+		return
+	}
+	n.tickArmed = true
+	n.eng.After(n.cfg.Tick, func() {
+		n.tickArmed = false
+		n.tick()
+		if len(n.flows) > 0 || n.anyQueue() {
+			n.armTick()
+		}
+	})
+}
+
+func (n *Net) anyQueue() bool {
+	for _, ls := range n.links {
+		if ls.queueBytes > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Topology returns the underlying topology.
+func (n *Net) Topology() *topo.Topology { return n.topo }
+
+// Register attaches an RNIC device to the fabric at its topology position.
+func (n *Net) Register(d *rnic.Device) {
+	n.devs[d.ID()] = d
+	n.devByIP[d.IP()] = d
+}
+
+// Device returns a registered device.
+func (n *Net) Device(id topo.DeviceID) (*rnic.Device, bool) {
+	d, ok := n.devs[id]
+	return d, ok
+}
+
+// DeviceByIP returns a registered device by IP.
+func (n *Net) DeviceByIP(ip netip.Addr) (*rnic.Device, bool) {
+	d, ok := n.devByIP[ip]
+	return d, ok
+}
+
+// PathOf returns the ECMP path a packet with the given tuple takes from
+// src to the device owning the tuple's destination IP.
+func (n *Net) PathOf(src topo.DeviceID, tuple ecmp.FiveTuple) ([]topo.LinkID, error) {
+	dst, ok := n.devByIP[tuple.DstIP]
+	if !ok {
+		return nil, fmt.Errorf("simnet: no device with IP %v", tuple.DstIP)
+	}
+	return n.topo.Route(src, dst.ID(), tuple.Hasher())
+}
+
+// SendPacket implements rnic.Network: route, apply faults, queue delays,
+// then deliver.
+func (n *Net) SendPacket(p *rnic.Packet) {
+	dst, ok := n.devByIP[p.Tuple.DstIP]
+	if !ok {
+		return
+	}
+	path, err := n.topo.Route(p.SrcDev, dst.ID(), p.Tuple.Hasher())
+	if err != nil {
+		return
+	}
+	delay := sim.Time(0)
+	for _, lid := range path {
+		ls := n.links[lid]
+		delay += n.cfg.PropDelay + n.queueDelay(ls)
+		if cause := n.dropAt(ls, p); cause != DropNone {
+			ls.stats.Drops[cause]++
+			return
+		}
+		ls.stats.Delivered++
+	}
+	n.eng.After(delay, func() { dst.Deliver(p) })
+}
+
+// dropAt evaluates fault state for a packet crossing a link.
+func (n *Net) dropAt(ls *linkState, p *rnic.Packet) DropCause {
+	if ls.down {
+		return DropLinkDown
+	}
+	if ls.pfcBlocked {
+		return DropPFC
+	}
+	if n.eng.Now() < ls.unstableUntil && n.rng.Float64() < 0.3 {
+		// Post-flap instability loses packets too.
+		return DropLinkDown
+	}
+	if ls.dropProb > 0 && n.rng.Float64() < ls.dropProb {
+		return DropCorrupt
+	}
+	// ACL is evaluated at the ingress switch of the link's To endpoint.
+	if len(n.aclDeny) > 0 {
+		if _, isSwitch := n.topo.Switches[ls.link.To]; isSwitch {
+			if n.aclDeny[aclKey{sw: ls.link.To, src: p.Tuple.SrcIP, dst: p.Tuple.DstIP}] {
+				return DropACL
+			}
+		}
+	}
+	// PFC headroom misconfiguration drops packets only under heavy
+	// congestion — exactly the paper's "packet drops during heavy
+	// congestion" (#9).
+	if ls.badHeadroom && ls.queueBytes > 0.85*n.cfg.MaxQueueBytes {
+		if n.rng.Float64() < 0.25 {
+			return DropHeadroom
+		}
+	}
+	return DropNone
+}
+
+func (n *Net) queueDelay(ls *linkState) sim.Time {
+	d := ls.extraDelay
+	if ls.queueBytes > 0 {
+		sec := ls.queueBytes * 8 / (ls.link.CapacityGbps * 1e9)
+		d += sim.Time(sec * 1e9)
+	}
+	return d
+}
+
+// QueueDelayOn reports the current queueing delay of a directed link.
+func (n *Net) QueueDelayOn(l topo.LinkID) sim.Time { return n.queueDelay(n.links[l]) }
+
+// QueueBytesOn reports the current queue depth of a directed link.
+func (n *Net) QueueBytesOn(l topo.LinkID) float64 { return n.links[l].queueBytes }
+
+// Stats returns a copy of the ground-truth stats for a directed link.
+func (n *Net) Stats(l topo.LinkID) LinkStats {
+	src := n.links[l].stats
+	out := LinkStats{Delivered: src.Delivered, Drops: make(map[DropCause]int64, len(src.Drops))}
+	for k, v := range src.Drops {
+		out.Drops[k] = v
+	}
+	return out
+}
+
+// --- Fault injection -------------------------------------------------
+
+// bothDirections applies fn to the two directed links of the cable that
+// contains l.
+func (n *Net) bothDirections(l topo.LinkID, fn func(*linkState)) {
+	cable := n.topo.Links[l].Cable
+	for _, ls := range n.links {
+		if ls.link.Cable == cable {
+			fn(ls)
+		}
+	}
+}
+
+// SetLinkDown raises/lowers both directions of the cable containing l
+// (port flapping toggles this). A down→up transition leaves the link
+// unstable for a second: retransmission storms for the packets lost while
+// down keep goodput collapsed slightly past the transition.
+func (n *Net) SetLinkDown(l topo.LinkID, down bool) {
+	n.bothDirections(l, func(ls *linkState) {
+		if ls.down && !down {
+			ls.unstableUntil = n.eng.Now() + sim.Second
+		}
+		ls.down = down
+	})
+}
+
+// LinkDown reports whether a directed link is down.
+func (n *Net) LinkDown(l topo.LinkID) bool { return n.links[l].down }
+
+// SetLinkCorruption sets a per-packet drop probability on one directed
+// link (damaged fiber is usually directional).
+func (n *Net) SetLinkCorruption(l topo.LinkID, p float64) { n.links[l].dropProb = p }
+
+// SetPFCBlocked marks both directions of a cable as blocked by a PFC
+// deadlock (two ports pausing each other forever, #5).
+func (n *Net) SetPFCBlocked(l topo.LinkID, blocked bool) {
+	n.bothDirections(l, func(ls *linkState) { ls.pfcBlocked = blocked })
+}
+
+// SetBadHeadroom marks a directed link as having unconfigured or
+// misconfigured PFC headroom (#9): it drops during heavy congestion.
+func (n *Net) SetBadHeadroom(l topo.LinkID, bad bool) { n.links[l].badHeadroom = bad }
+
+// InjectQueue adds standing queue to a directed link. Used to model
+// PFC storms from intra-host bottlenecks (#13/#14): the RNIC cannot drain,
+// pause frames propagate, and queues build toward that RNIC.
+func (n *Net) InjectQueue(l topo.LinkID, bytes float64) {
+	ls := n.links[l]
+	ls.queueBytes = min(ls.queueBytes+bytes, n.cfg.MaxQueueBytes)
+	n.armTick()
+}
+
+// SetLinkExtraDelay sets a standing per-packet delay on a directed link,
+// modeling persistent PFC pausing: an intra-host bottleneck (PCIe
+// downgrade/misconfig, #13/#14) keeps the RNIC from draining, pause
+// frames hold the switch egress port, and everything toward that RNIC
+// waits — the paper's PFC storm with its high P99 RTT (Fig 8 right).
+func (n *Net) SetLinkExtraDelay(l topo.LinkID, d sim.Time) { n.links[l].extraDelay = d }
+
+// DenyACL installs a deny rule: packets src->dst crossing sw are dropped.
+func (n *Net) DenyACL(sw topo.DeviceID, src, dst netip.Addr) {
+	n.aclDeny[aclKey{sw: sw, src: src, dst: dst}] = true
+}
+
+// AllowACL removes a deny rule.
+func (n *Net) AllowACL(sw topo.DeviceID, src, dst netip.Addr) {
+	delete(n.aclDeny, aclKey{sw: sw, src: src, dst: dst})
+}

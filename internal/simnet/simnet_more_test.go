@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Property: under arbitrary demand mixes, per-link achieved load never
+// exceeds capacity and queues never go negative.
+func TestPropertyCapacityAndQueueInvariants(t *testing.T) {
+	f := func(seed int64, nFlows uint8, demandRaw uint16) bool {
+		r := newRigSeed(t, Config{}, seed)
+		rng := r.eng.SubRand("prop")
+		ids := r.tp.AllRNICs()
+		n := int(nFlows)%12 + 1
+		var flows []*Flow
+		for i := 0; i < n; i++ {
+			a := ids[rng.Intn(len(ids))]
+			b := ids[rng.Intn(len(ids))]
+			if a == b {
+				continue
+			}
+			demand := float64(demandRaw%800) + 1
+			f, err := r.net.AddFlow(FlowSpec{
+				Src: a, Dst: b,
+				Tuple:      ecmp.RoCETuple(r.tp.RNICs[a].IP, r.tp.RNICs[b].IP, uint16(rng.Intn(60000)+1)),
+				DemandGbps: demand,
+			})
+			if err != nil {
+				return false
+			}
+			flows = append(flows, f)
+		}
+		r.eng.RunUntil(r.eng.Now() + 200*sim.Millisecond)
+
+		// Per-link achieved load <= capacity (within float tolerance).
+		load := make(map[topo.LinkID]float64)
+		for _, f := range flows {
+			for _, l := range f.Path {
+				load[l] += f.Rate()
+			}
+		}
+		for l, sum := range load {
+			if sum > r.tp.Links[l].CapacityGbps*1.0001 {
+				return false
+			}
+		}
+		for _, l := range r.tp.Links {
+			if r.net.QueueBytesOn(l.ID) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRigSeed is newRig with a controllable seed.
+func newRigSeed(t testing.TB, cfg Config, seed int64) *rig {
+	t.Helper()
+	tp, err := topo.BuildClos(topo.ClosConfig{
+		Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2,
+		HostsPerToR: 2, RNICsPerHost: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(seed)
+	net := New(eng, tp, cfg)
+	return &rig{eng: eng, tp: tp, net: net}
+}
+
+func TestExtraDelayVisibleToProbes(t *testing.T) {
+	r := newRig(t, Config{})
+	a, b := r.pairCrossPod(t)
+	_, base := r.sendProbe(t, a, b, 31)
+	tuple := ecmp.RoCETuple(r.devs[a].IP(), r.devs[b].IP(), 31)
+	path, _ := r.net.PathOf(a, tuple)
+	r.net.SetLinkExtraDelay(path[2], 200*sim.Microsecond)
+	ok, slow := r.sendProbe(t, a, b, 31)
+	if !ok {
+		t.Fatal("probe dropped by extra delay")
+	}
+	if slow < base+190*sim.Microsecond {
+		t.Fatalf("extra delay invisible: %v -> %v", base, slow)
+	}
+	r.net.SetLinkExtraDelay(path[2], 0)
+	if _, again := r.sendProbe(t, a, b, 31); again > base+sim.Microsecond {
+		t.Fatalf("extra delay not cleared: %v", again)
+	}
+}
+
+// Drop-cause precedence: a link that is both down and corrupting reports
+// DropLinkDown (the stronger condition).
+func TestDropCausePrecedence(t *testing.T) {
+	r := newRig(t, Config{})
+	a, b := r.pairCrossPod(t)
+	tuple := ecmp.RoCETuple(r.devs[a].IP(), r.devs[b].IP(), 9)
+	path, _ := r.net.PathOf(a, tuple)
+	victim := path[2]
+	r.net.SetLinkCorruption(victim, 1.0)
+	r.net.SetLinkDown(victim, true)
+	if ok, _ := r.sendProbe(t, a, b, 9); ok {
+		t.Fatal("probe crossed a down link")
+	}
+	st := r.net.Stats(victim)
+	if st.Drops[DropLinkDown] != 1 || st.Drops[DropCorrupt] != 0 {
+		t.Fatalf("precedence wrong: %+v", st.Drops)
+	}
+}
+
+// Stats returns a defensive copy.
+func TestStatsCopySemantics(t *testing.T) {
+	r := newRig(t, Config{})
+	st := r.net.Stats(0)
+	st.Drops[DropACL] = 999
+	if got := r.net.Stats(0).Drops[DropACL]; got != 0 {
+		t.Fatalf("Stats leaked internal map: %d", got)
+	}
+}
+
+// Post-flap instability expires: after the 1s window the link is clean.
+func TestInstabilityWindowExpires(t *testing.T) {
+	r := newRig(t, Config{})
+	a, b := r.pairCrossPod(t)
+	tuple := ecmp.RoCETuple(r.devs[a].IP(), r.devs[b].IP(), 77)
+	path, _ := r.net.PathOf(a, tuple)
+	r.net.SetLinkDown(path[2], true)
+	r.eng.RunUntil(r.eng.Now() + sim.Second)
+	r.net.SetLinkDown(path[2], false)
+	r.eng.RunUntil(r.eng.Now() + 2*sim.Second) // past the unstable window
+	drops := 0
+	for i := 0; i < 50; i++ {
+		if ok, _ := r.sendProbe(t, a, b, 77); !ok {
+			drops++
+		}
+	}
+	if drops != 0 {
+		t.Fatalf("%d drops after the instability window expired", drops)
+	}
+}
+
+// Flows to a misconfigured RNIC are blocked (the #6/#7 observable).
+func TestFlowBlockedByMisconfiguredEndpoint(t *testing.T) {
+	r := newRig(t, Config{})
+	a, b := r.pairCrossPod(t)
+	f, err := r.net.AddFlow(FlowSpec{
+		Src: a, Dst: b,
+		Tuple:      ecmp.RoCETuple(r.devs[a].IP(), r.devs[b].IP(), 5),
+		DemandGbps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now() + 20*sim.Millisecond)
+	if f.Rate() != 100 {
+		t.Fatalf("baseline rate %v", f.Rate())
+	}
+	r.devs[b].SetMisconfigured(true)
+	r.eng.RunUntil(r.eng.Now() + 20*sim.Millisecond)
+	if f.Rate() != 0 {
+		t.Fatalf("flow to misconfigured RNIC still moving at %v", f.Rate())
+	}
+	r.devs[b].SetMisconfigured(false)
+	r.eng.RunUntil(r.eng.Now() + 20*sim.Millisecond)
+	if f.Rate() != 100 {
+		t.Fatalf("flow did not recover: %v", f.Rate())
+	}
+}
+
+// SetFlowDemand on an unknown flow is a no-op; on a live one it takes
+// effect at the next tick.
+func TestSetFlowDemand(t *testing.T) {
+	r := newRig(t, Config{})
+	a, b := r.pairCrossPod(t)
+	f, err := r.net.AddFlow(FlowSpec{
+		Src: a, Dst: b,
+		Tuple:      ecmp.RoCETuple(r.devs[a].IP(), r.devs[b].IP(), 5),
+		DemandGbps: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now() + 10*sim.Millisecond)
+	if f.Rate() != 0 {
+		t.Fatalf("idle flow moving at %v", f.Rate())
+	}
+	r.net.SetFlowDemand(f.ID, 50)
+	r.net.SetFlowDemand(12345, 50) // unknown: no panic
+	r.eng.RunUntil(r.eng.Now() + 10*sim.Millisecond)
+	if f.Rate() != 50 {
+		t.Fatalf("demand change not applied: %v", f.Rate())
+	}
+}

@@ -1,0 +1,222 @@
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// ClosConfig parameterizes a 3-tier CLOS fabric (§6 of the paper: 3 tiers,
+// 1:1 oversubscription, thousands of GPU servers).
+type ClosConfig struct {
+	Pods         int
+	ToRsPerPod   int
+	AggsPerPod   int
+	Spines       int
+	HostsPerToR  int
+	RNICsPerHost int // all attach to the host's ToR
+	// Link capacities in Gbps. Zero values default to 400 (host) and 400
+	// (fabric), matching the Tomahawk-4 cluster of §6.
+	HostLinkGbps   float64
+	FabricLinkGbps float64
+}
+
+func (c *ClosConfig) setDefaults() error {
+	if c.Pods <= 0 || c.ToRsPerPod <= 0 || c.AggsPerPod <= 0 || c.HostsPerToR <= 0 {
+		return fmt.Errorf("topo: non-positive CLOS dimension: %+v", *c)
+	}
+	if c.RNICsPerHost <= 0 {
+		c.RNICsPerHost = 1
+	}
+	if c.Spines <= 0 {
+		c.Spines = c.AggsPerPod
+	}
+	if c.Spines%c.AggsPerPod != 0 {
+		return fmt.Errorf("topo: Spines (%d) must be a multiple of AggsPerPod (%d) for plane routing", c.Spines, c.AggsPerPod)
+	}
+	if c.HostLinkGbps <= 0 {
+		c.HostLinkGbps = 400
+	}
+	if c.FabricLinkGbps <= 0 {
+		c.FabricLinkGbps = 400
+	}
+	return nil
+}
+
+// BuildClos constructs a 3-tier CLOS topology:
+//
+//   - each host under a ToR attaches all of its RNICs to that ToR;
+//   - each ToR connects to every Agg in its pod;
+//   - each Agg connects to the spines of its plane (spine s attaches to
+//     agg s mod AggsPerPod in every pod).
+func BuildClos(cfg ClosConfig) (*Topology, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(fmt.Sprintf("clos-%dp-%dt-%da-%ds", cfg.Pods, cfg.ToRsPerPod, cfg.AggsPerPod, cfg.Spines))
+
+	for s := 0; s < cfg.Spines; s++ {
+		b.addSwitch(spineID(s), TierSpine, -1, s)
+	}
+	hostCounter := 0
+	for p := 0; p < cfg.Pods; p++ {
+		for a := 0; a < cfg.AggsPerPod; a++ {
+			b.addSwitch(aggID(p, a), TierAgg, p, a)
+			for s := 0; s < cfg.Spines; s++ {
+				if s%cfg.AggsPerPod == a {
+					b.addCable(aggID(p, a), spineID(s), cfg.FabricLinkGbps)
+				}
+			}
+		}
+		for t := 0; t < cfg.ToRsPerPod; t++ {
+			tor := torID(p, t)
+			b.addSwitch(tor, TierToR, p, t)
+			for a := 0; a < cfg.AggsPerPod; a++ {
+				b.addCable(tor, aggID(p, a), cfg.FabricLinkGbps)
+			}
+			for h := 0; h < cfg.HostsPerToR; h++ {
+				hid := hostID(p, hostCounter)
+				hostCounter++
+				b.addHost(hid, p, hostCounter-1)
+				for n := 0; n < cfg.RNICsPerHost; n++ {
+					b.addRNIC(hid, n, tor, cfg.HostLinkGbps)
+				}
+			}
+		}
+	}
+	return b.finish(false)
+}
+
+// RailConfig parameterizes a 2-tier rail-optimized fabric (§7.4, Fig 12):
+// NIC i of every host attaches to rail switch i, and every rail switch
+// connects to every spine.
+type RailConfig struct {
+	Hosts          int
+	Rails          int // NICs per host == rail switches
+	Spines         int
+	HostLinkGbps   float64
+	FabricLinkGbps float64
+}
+
+// BuildRailOptimized constructs a rail-optimized topology.
+func BuildRailOptimized(cfg RailConfig) (*Topology, error) {
+	if cfg.Hosts <= 0 || cfg.Rails <= 0 {
+		return nil, fmt.Errorf("topo: non-positive rail dimension: %+v", cfg)
+	}
+	if cfg.Spines <= 0 {
+		cfg.Spines = cfg.Rails
+	}
+	if cfg.HostLinkGbps <= 0 {
+		cfg.HostLinkGbps = 400
+	}
+	if cfg.FabricLinkGbps <= 0 {
+		cfg.FabricLinkGbps = 400
+	}
+	b := newBuilder(fmt.Sprintf("rail-%dh-%dr-%ds", cfg.Hosts, cfg.Rails, cfg.Spines))
+	for s := 0; s < cfg.Spines; s++ {
+		b.addSwitch(spineID(s), TierSpine, -1, s)
+	}
+	for r := 0; r < cfg.Rails; r++ {
+		b.addSwitch(railID(r), TierToR, -1, r)
+		for s := 0; s < cfg.Spines; s++ {
+			b.addCable(railID(r), spineID(s), cfg.FabricLinkGbps)
+		}
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		hid := hostID(0, h)
+		b.addHost(hid, 0, h)
+		for r := 0; r < cfg.Rails; r++ {
+			b.addRNIC(hid, r, railID(r), cfg.HostLinkGbps)
+		}
+	}
+	return b.finish(true)
+}
+
+type builder struct {
+	t      *Topology
+	nextIP uint32
+	upSets map[DeviceID]map[DeviceID]bool
+}
+
+func newBuilder(name string) *builder {
+	return &builder{
+		t: &Topology{
+			Name:       name,
+			Switches:   make(map[DeviceID]*Switch),
+			RNICs:      make(map[DeviceID]*RNIC),
+			Hosts:      make(map[HostID]*Host),
+			linkByPair: make(map[[2]DeviceID]LinkID),
+			up:         make(map[DeviceID][]DeviceID),
+			torRNICs:   make(map[DeviceID][]DeviceID),
+		},
+		nextIP: 0x0a000001, // 10.0.0.1
+		upSets: make(map[DeviceID]map[DeviceID]bool),
+	}
+}
+
+func (b *builder) addSwitch(id DeviceID, tier Tier, pod, idx int) {
+	b.t.Switches[id] = &Switch{ID: id, Tier: tier, Pod: pod, Index: idx}
+}
+
+func (b *builder) addHost(id HostID, pod, idx int) {
+	b.t.Hosts[id] = &Host{ID: id, Pod: pod, Index: idx}
+}
+
+func (b *builder) addRNIC(h HostID, idx int, tor DeviceID, gbps float64) {
+	id := rnicID(h, idx)
+	ip := ipv4(b.nextIP)
+	b.nextIP++
+	r := &RNIC{
+		ID:    id,
+		Host:  h,
+		Index: idx,
+		IP:    ip,
+		GID:   "fe80::" + ip.String(),
+		ToR:   tor,
+	}
+	b.t.RNICs[id] = r
+	b.t.Hosts[h].RNICs = append(b.t.Hosts[h].RNICs, id)
+	b.t.torRNICs[tor] = append(b.t.torRNICs[tor], id)
+	b.addCable(id, tor, gbps)
+}
+
+// addCable adds both directions of a physical cable between lower and
+// upper, recording upper as an uplink of lower.
+func (b *builder) addCable(lower, upper DeviceID, gbps float64) {
+	cable := b.t.cables
+	b.t.cables++
+	for _, pair := range [][2]DeviceID{{lower, upper}, {upper, lower}} {
+		id := LinkID(len(b.t.Links))
+		b.t.Links = append(b.t.Links, &Link{ID: id, From: pair[0], To: pair[1], Cable: cable, CapacityGbps: gbps})
+		b.t.linkByPair[pair] = id
+	}
+	if b.upSets[lower] == nil {
+		b.upSets[lower] = make(map[DeviceID]bool)
+	}
+	b.upSets[lower][upper] = true
+}
+
+func (b *builder) finish(rail bool) (*Topology, error) {
+	b.t.Rail = rail
+	for dev, set := range b.upSets {
+		ups := make([]DeviceID, 0, len(set))
+		for u := range set {
+			ups = append(ups, u)
+		}
+		sort.Slice(ups, func(i, j int) bool { return ups[i] < ups[j] })
+		b.t.up[dev] = ups
+	}
+	for tor := range b.t.torRNICs {
+		sort.Slice(b.t.torRNICs[tor], func(i, j int) bool {
+			return b.t.torRNICs[tor][i] < b.t.torRNICs[tor][j]
+		})
+	}
+	if err := b.t.Validate(); err != nil {
+		return nil, err
+	}
+	return b.t, nil
+}
+
+func ipv4(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

@@ -1,0 +1,175 @@
+// Package trace implements probe path tracing. R-Pingmesh traces the path
+// of every probe 5-tuple (and of its ACK) so the Analyzer can localize
+// switch problems by voting over anomalous paths (§4.2.3, Algorithm 1).
+//
+// The default implementation models Traceroute: it discovers the path one
+// TTL at a time, but data-center switches rate-limit their ICMP/TTL
+// responses to protect the switch CPU, so hops can come back unknown when
+// tracing too fast. The PathTracer interface is deliberately decoupled
+// from the probing modules so stronger primitives (INT, ERSPAN) can slot
+// in (§7.4); an INT-style tracer that also reports per-hop queueing is
+// provided.
+package trace
+
+import (
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
+	"rpingmesh/internal/topo"
+)
+
+// Hop is one step of a traced path.
+type Hop struct {
+	// Link is the directed link entering this hop.
+	Link topo.LinkID
+	// Device is the node at the end of Link ("" when unknown).
+	Device topo.DeviceID
+	// Responded reports whether the hop answered the trace.
+	Responded bool
+	// QueueDelay is per-hop queueing, reported only by INT tracers.
+	QueueDelay sim.Time
+}
+
+// Result is a traced path.
+type Result struct {
+	Tuple ecmp.FiveTuple
+	Hops  []Hop
+	// Complete means every hop responded, so Links() is the full path.
+	Complete bool
+	// At is the virtual time the trace finished.
+	At sim.Time
+}
+
+// Links returns the directed links of the responded hops, in order.
+func (r Result) Links() []topo.LinkID {
+	out := make([]topo.LinkID, 0, len(r.Hops))
+	for _, h := range r.Hops {
+		if h.Responded {
+			out = append(out, h.Link)
+		}
+	}
+	return out
+}
+
+// PathTracer discovers the network path a tuple's packets take from a
+// source RNIC.
+type PathTracer interface {
+	TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error)
+}
+
+// Traceroute is the TTL-walking tracer with per-switch response rate
+// limiting.
+type Traceroute struct {
+	net *simnet.Net
+	eng *sim.Engine
+
+	// PerSwitchRPS is each switch's maximum TTL-expired responses per
+	// second. Defaults to 100 (typical COPP policer ballpark).
+	PerSwitchRPS float64
+	// Burst is the token bucket burst. Defaults to 20.
+	Burst float64
+
+	buckets map[topo.DeviceID]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   sim.Time
+}
+
+// NewTraceroute builds a tracer over the data plane.
+func NewTraceroute(eng *sim.Engine, net *simnet.Net) *Traceroute {
+	return &Traceroute{
+		net:          net,
+		eng:          eng,
+		PerSwitchRPS: 100,
+		Burst:        20,
+		buckets:      make(map[topo.DeviceID]*bucket),
+	}
+}
+
+func (t *Traceroute) take(sw topo.DeviceID) bool {
+	b, ok := t.buckets[sw]
+	if !ok {
+		b = &bucket{tokens: t.Burst, last: t.eng.Now()}
+		t.buckets[sw] = b
+	}
+	elapsed := (t.eng.Now() - b.last).Seconds()
+	b.last = t.eng.Now()
+	b.tokens += elapsed * t.PerSwitchRPS
+	if b.tokens > t.Burst {
+		b.tokens = t.Burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// TracePath implements PathTracer. The walk ends early if a link on the
+// path is down or blocked: hops beyond the failure never answer and are
+// not reported (as real traceroute shows a trail of '*'s, which carry no
+// localization information).
+func (t *Traceroute) TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error) {
+	path, err := t.net.PathOf(src, tuple)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Tuple: tuple, Complete: true, At: t.eng.Now()}
+	for _, lid := range path {
+		link := t.net.Topology().Links[lid]
+		if t.net.LinkDown(lid) {
+			// Nothing beyond a dead link responds.
+			res.Complete = false
+			break
+		}
+		hop := Hop{Link: lid, Device: link.To}
+		if _, isSwitch := t.net.Topology().Switches[link.To]; isSwitch {
+			hop.Responded = t.take(link.To)
+		} else {
+			// The destination host answers without a switch CPU policer.
+			hop.Responded = true
+		}
+		if !hop.Responded {
+			hop.Device = ""
+			res.Complete = false
+		}
+		res.Hops = append(res.Hops, hop)
+	}
+	return res, nil
+}
+
+// INT is an in-band-telemetry-style tracer: every hop always answers (no
+// switch CPU involved) and reports its current queueing delay, which helps
+// localize congestion (§7.4).
+type INT struct {
+	net *simnet.Net
+	eng *sim.Engine
+}
+
+// NewINT builds an INT tracer.
+func NewINT(eng *sim.Engine, net *simnet.Net) *INT { return &INT{net: net, eng: eng} }
+
+// TracePath implements PathTracer.
+func (t *INT) TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error) {
+	path, err := t.net.PathOf(src, tuple)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Tuple: tuple, Complete: true, At: t.eng.Now()}
+	for _, lid := range path {
+		link := t.net.Topology().Links[lid]
+		if t.net.LinkDown(lid) {
+			res.Complete = false
+			break
+		}
+		res.Hops = append(res.Hops, Hop{
+			Link:       lid,
+			Device:     link.To,
+			Responded:  true,
+			QueueDelay: t.net.QueueDelayOn(lid),
+		})
+	}
+	return res, nil
+}

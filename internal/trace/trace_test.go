@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"testing"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/rnic"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
+	"rpingmesh/internal/topo"
+)
+
+type rig struct {
+	eng *sim.Engine
+	tp  *topo.Topology
+	net *simnet.Net
+	a   topo.DeviceID
+	b   topo.DeviceID
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	tp, err := topo.BuildClos(topo.ClosConfig{Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2, HostsPerToR: 1, RNICsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(11)
+	net := simnet.New(eng, tp, simnet.Config{})
+	for _, id := range tp.AllRNICs() {
+		info := tp.RNICs[id]
+		net.Register(rnic.NewDevice(eng, net, rnic.Config{ID: id, IP: info.IP, GID: info.GID, Host: info.Host}))
+	}
+	return &rig{
+		eng: eng, tp: tp, net: net,
+		a: tp.RNICsUnderToR("tor-0-0")[0],
+		b: tp.RNICsUnderToR("tor-1-0")[0],
+	}
+}
+
+func (r *rig) tuple(port uint16) ecmp.FiveTuple {
+	return ecmp.RoCETuple(r.tp.RNICs[r.a].IP, r.tp.RNICs[r.b].IP, port)
+}
+
+func TestTracerouteCompletePath(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	res, err := tr.TracePath(r.a, r.tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("fresh trace incomplete")
+	}
+	want, _ := r.net.PathOf(r.a, r.tuple(1))
+	links := res.Links()
+	if len(links) != len(want) {
+		t.Fatalf("links = %d, want %d", len(links), len(want))
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("link %d = %v, want %v", i, links[i], want[i])
+		}
+	}
+	// Final hop is the destination RNIC.
+	if res.Hops[len(res.Hops)-1].Device != r.b {
+		t.Fatalf("last hop = %v", res.Hops[len(res.Hops)-1])
+	}
+}
+
+func TestTracerouteRateLimiting(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	tr.PerSwitchRPS = 10
+	tr.Burst = 2
+	// Burst of traces through the same first switch: tokens run out.
+	incomplete := 0
+	for i := 0; i < 10; i++ {
+		res, err := tr.TracePath(r.a, r.tuple(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			incomplete++
+		}
+	}
+	if incomplete == 0 {
+		t.Fatal("rate limiter never kicked in")
+	}
+	// After a second of virtual time, tokens refill.
+	r.eng.RunUntil(r.eng.Now() + sim.Second)
+	res, err := tr.TracePath(r.a, r.tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("trace incomplete after refill")
+	}
+}
+
+func TestTracerouteStopsAtDownLink(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	path, _ := r.net.PathOf(r.a, r.tuple(1))
+	r.net.SetLinkDown(path[2], true)
+	res, err := tr.TracePath(r.a, r.tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("trace across down link reported complete")
+	}
+	// Only hops before the failure are reported.
+	if len(res.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2 (before the dead link)", len(res.Hops))
+	}
+}
+
+func TestTracerouteUnknownDestination(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	bad := r.tuple(1)
+	bad.DstIP = bad.SrcIP // self-route fails in topo
+	if _, err := tr.TracePath(r.a, bad); err == nil {
+		t.Fatal("trace to self succeeded")
+	}
+}
+
+func TestINTAlwaysCompleteAndSeesQueues(t *testing.T) {
+	r := newRig(t)
+	it := NewINT(r.eng, r.net)
+	// Hammer it: INT has no rate limiter.
+	for i := 0; i < 100; i++ {
+		res, err := it.TracePath(r.a, r.tuple(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatal("INT trace incomplete")
+		}
+	}
+	// Inject queue on a path link; INT must report it.
+	path, _ := r.net.PathOf(r.a, r.tuple(1))
+	r.net.InjectQueue(path[2], 4<<20)
+	res, _ := it.TracePath(r.a, r.tuple(1))
+	var seen sim.Time
+	for _, h := range res.Hops {
+		if h.Link == path[2] {
+			seen = h.QueueDelay
+		}
+	}
+	if seen <= 0 {
+		t.Fatal("INT did not report queueing delay")
+	}
+}
+
+func TestResultLinksSkipsUnresponsive(t *testing.T) {
+	res := Result{Hops: []Hop{
+		{Link: 1, Responded: true},
+		{Link: 2, Responded: false},
+		{Link: 3, Responded: true},
+	}}
+	links := res.Links()
+	if len(links) != 2 || links[0] != 1 || links[1] != 3 {
+		t.Fatalf("Links = %v", links)
+	}
+}
+
+// Both tracers satisfy the PathTracer seam used by the Agent (§7.4).
+func TestPathTracerInterface(t *testing.T) {
+	r := newRig(t)
+	var _ PathTracer = NewTraceroute(r.eng, r.net)
+	var _ PathTracer = NewINT(r.eng, r.net)
+}
+
+func BenchmarkTraceroute(b *testing.B) {
+	r := newRig(b)
+	tr := NewTraceroute(r.eng, r.net)
+	tr.PerSwitchRPS = 1e9 // no limiting in the benchmark
+	tr.Burst = 1e9
+	tuple := r.tuple(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TracePath(r.a, tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Rate limiting is per switch: exhausting one switch's budget must not
+// block traces through other switches.
+func TestRateLimitPerSwitchIsolation(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	tr.PerSwitchRPS = 1
+	tr.Burst = 2
+	// Exhaust the budget along a->b.
+	for i := 0; i < 10; i++ {
+		if _, err := tr.TracePath(r.a, r.tuple(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tr.TracePath(r.a, r.tuple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("budget not exhausted on the hot path")
+	}
+	if res.Hops[0].Responded {
+		t.Fatal("exhausted first switch still answering")
+	}
+	// A path entering the fabric at an untouched ToR answers there: the
+	// budgets are per switch, not global. (Aggs/spines may be shared with
+	// the hot path, so only the first hop is guaranteed fresh.)
+	c := r.tp.RNICsUnderToR("tor-0-1")[0]
+	d := r.tp.RNICsUnderToR("tor-1-1")[0]
+	other := ecmp.RoCETuple(r.tp.RNICs[c].IP, r.tp.RNICs[d].IP, 9)
+	res2, err := tr.TracePath(c, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Hops[0].Responded || res2.Hops[0].Device != "tor-0-1" {
+		t.Fatalf("untouched ToR rate-limited: %+v", res2.Hops[0])
+	}
+}
+
+// The final host hop never consumes a switch budget.
+func TestDestinationHopUnmetered(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	tr.PerSwitchRPS = 1e9
+	tr.Burst = 1e9
+	res, err := tr.TracePath(r.a, r.tuple(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Hops[len(res.Hops)-1]
+	if !last.Responded || last.Device != r.b {
+		t.Fatalf("destination hop wrong: %+v", last)
+	}
+}
+
+// Result.At records the trace time.
+func TestTraceTimestamp(t *testing.T) {
+	r := newRig(t)
+	tr := NewTraceroute(r.eng, r.net)
+	r.eng.RunUntil(5 * sim.Second)
+	res, err := tr.TracePath(r.a, r.tuple(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At != 5*sim.Second {
+		t.Fatalf("At = %v", res.At)
+	}
+}

@@ -1,0 +1,141 @@
+package watchdog
+
+import (
+	"fmt"
+	"sort"
+
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/topo"
+)
+
+// RootCause is the diagnosed reason behind a probing-visible problem —
+// the §7.5 "automatically diagnose root causes" direction: probing tells
+// WHERE, counters tell WHY.
+type RootCause int
+
+const (
+	// CauseUnknown: probing evidence only; operators must inspect.
+	CauseUnknown RootCause = iota
+	// CauseCorruption: drops + rising corruption counters (#2): replace
+	// the cable / clean the module.
+	CauseCorruption
+	// CauseFlapping: drops + link up/down churn (#1).
+	CauseFlapping
+	// CauseDownOrMisconfig: total unreachability with clean counters
+	// (#3, #6, #7, #8 — the device never passed traffic at all).
+	CauseDownOrMisconfig
+	// CausePFC: latency or blocking with PFC counters (#5, #13, #14).
+	CausePFC
+)
+
+func (c RootCause) String() string {
+	switch c {
+	case CauseCorruption:
+		return "packet-corruption"
+	case CauseFlapping:
+		return "flapping"
+	case CauseDownOrMisconfig:
+		return "down-or-misconfig"
+	case CausePFC:
+		return "pfc-anomaly"
+	default:
+		return "unknown"
+	}
+}
+
+// Diagnosis pairs a located problem with its inferred root cause.
+type Diagnosis struct {
+	Problem analyzer.Problem
+	Cause   RootCause
+	// Evidence describes the counter signal backing the inference.
+	Evidence string
+}
+
+func (d Diagnosis) String() string {
+	where := string(d.Problem.Device)
+	if where == "" {
+		where = string(d.Problem.Host)
+	}
+	return fmt.Sprintf("%s at %s: root cause %s (%s)", d.Problem.Kind, where, d.Cause, d.Evidence)
+}
+
+// Diagnose combines the Analyzer's located problems with the watchdog's
+// counter advisories — the decision tree of §7.5. Problems without a
+// device/link anchor pass through as CauseUnknown.
+func (w *Watchdog) Diagnose(problems []analyzer.Problem) []Diagnosis {
+	// Index advisories by device and by cable.
+	byDevice := make(map[topo.DeviceID][]Advisory)
+	byCable := make(map[int][]Advisory)
+	for _, a := range w.advisories {
+		if a.Device != "" {
+			byDevice[a.Device] = append(byDevice[a.Device], a)
+		} else if int(a.Link) >= 0 && int(a.Link) < len(w.c.Topo.Links) {
+			byCable[w.c.Topo.Links[a.Link].Cable] = append(byCable[w.c.Topo.Links[a.Link].Cable], a)
+		}
+	}
+	devCableAdvisories := func(dev topo.DeviceID) []Advisory {
+		out := append([]Advisory(nil), byDevice[dev]...)
+		if r, ok := w.c.Topo.RNICs[dev]; ok {
+			hl := w.c.Topo.LinkBetween(dev, r.ToR)
+			out = append(out, byCable[w.c.Topo.Links[hl].Cable]...)
+		}
+		return out
+	}
+
+	classify := func(advs []Advisory) (RootCause, string) {
+		counts := map[Advice]int64{}
+		for _, a := range advs {
+			counts[a.Advice] += a.Delta
+		}
+		// Priority order mirrors blast radius: PFC > flap > corruption.
+		switch {
+		case counts[InspectPFC] > 0:
+			return CausePFC, fmt.Sprintf("%d PFC-blocked drops", counts[InspectPFC])
+		case counts[IsolateDevice] > 0:
+			return CauseFlapping, fmt.Sprintf("%d drops across link up/down churn", counts[IsolateDevice])
+		case counts[ReplaceCable] > 0:
+			return CauseCorruption, fmt.Sprintf("%d corruption drops", counts[ReplaceCable])
+		default:
+			return CauseUnknown, "no counter anomalies"
+		}
+	}
+
+	out := make([]Diagnosis, 0, len(problems))
+	for _, p := range problems {
+		d := Diagnosis{Problem: p, Cause: CauseUnknown, Evidence: "no counter anomalies"}
+		switch p.Kind {
+		case analyzer.ProblemRNIC:
+			cause, ev := classify(devCableAdvisories(p.Device))
+			if cause == CauseUnknown {
+				// Probing says the RNIC is unreachable, counters are
+				// clean: the device never passed traffic — down or
+				// misconfigured (#3/#6/#7/#8).
+				cause, ev = CauseDownOrMisconfig, "drops without traffic counters"
+			}
+			d.Cause, d.Evidence = cause, ev
+		case analyzer.ProblemSwitchLink:
+			var advs []Advisory
+			seen := map[int]bool{}
+			for _, l := range p.Links {
+				if int(l) < 0 || int(l) >= len(w.c.Topo.Links) {
+					continue
+				}
+				cable := w.c.Topo.Links[l].Cable
+				if !seen[cable] {
+					seen[cable] = true
+					advs = append(advs, byCable[cable]...)
+				}
+			}
+			d.Cause, d.Evidence = classify(advs)
+		case analyzer.ProblemHighRTT:
+			if p.Device != "" {
+				if cause, ev := classify(devCableAdvisories(p.Device)); cause == CausePFC {
+					d.Cause, d.Evidence = cause, ev
+				}
+			}
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Problem.Window < out[j].Problem.Window })
+	return out
+}

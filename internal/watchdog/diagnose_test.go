@@ -1,0 +1,91 @@
+package watchdog
+
+import (
+	"testing"
+
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/sim"
+)
+
+// The decision tree of §7.5: same probing symptom ("RNIC problem"),
+// three different counter signatures, three different root causes.
+func TestDiagnoseDistinguishesRootCauses(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault faultgen.Fault
+		want  RootCause
+	}{
+		{"corruption", faultgen.Fault{Cause: faultgen.PacketCorruption}, CauseCorruption},
+		{"flapping", faultgen.Fault{Cause: faultgen.FlappingPort}, CauseFlapping},
+		{"down", faultgen.Fault{Cause: faultgen.RNICDown}, CauseDownOrMisconfig},
+		{"misconfig", faultgen.Fault{Cause: faultgen.MissingRouteConfig}, CauseDownOrMisconfig},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cluster(t, 5)
+			c.StartAgents()
+			w := New(c, Config{})
+			w.Start()
+			c.Run(30 * sim.Second)
+
+			victim := c.Topo.AllRNICs()[0]
+			f := tc.fault
+			f.Dev = victim
+			in := faultgen.NewInjector(c, 1)
+			if _, err := in.Inject(f); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(90 * sim.Second)
+
+			diags := w.Diagnose(c.Analyzer.Problems())
+			found := false
+			for _, d := range diags {
+				if d.Problem.Kind == analyzer.ProblemRNIC && d.Problem.Device == victim {
+					found = true
+					if d.Cause != tc.want {
+						t.Fatalf("diagnosed %v (%s), want %v", d.Cause, d.Evidence, tc.want)
+					}
+					if d.String() == "" {
+						t.Fatal("empty diagnosis string")
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no RNIC problem to diagnose: %+v", c.Analyzer.Problems())
+			}
+		})
+	}
+}
+
+// A PFC-deadlocked fabric link diagnoses as a PFC anomaly.
+func TestDiagnosePFCDeadlock(t *testing.T) {
+	c := cluster(t, 6)
+	c.StartAgents()
+	w := New(c, Config{})
+	w.Start()
+	c.Run(30 * sim.Second)
+	link := c.Topo.LinkBetween("tor-0-0", "agg-0-0")
+	in := faultgen.NewInjector(c, 1)
+	if _, err := in.Inject(faultgen.Fault{Cause: faultgen.PFCDeadlock, Link: link}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(90 * sim.Second)
+	found := false
+	for _, d := range w.Diagnose(c.Analyzer.Problems()) {
+		if d.Problem.Kind == analyzer.ProblemSwitchLink && d.Cause == CausePFC {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PFC deadlock not diagnosed from counters")
+	}
+}
+
+func TestRootCauseStrings(t *testing.T) {
+	for c := CauseUnknown; c <= CausePFC; c++ {
+		if c.String() == "" {
+			t.Fatalf("cause %d empty", c)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package wire carries the Agent ↔ Controller ↔ Analyzer protocol over
+// TCP, as in the paper's deployment where the three modules interact over
+// the management network (Fig 3). Frames are 4-byte big-endian length
+// prefixes followed by JSON — simple, debuggable, and offline-friendly.
+//
+// The Server wraps any proto.Controller and proto.UploadSink; the Client
+// implements both interfaces, so an Agent can be pointed at a remote
+// Controller/Analyzer without code changes.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/topo"
+)
+
+// MaxFrame bounds a frame's payload size (a full pinglist batch for a
+// large host fits well under this).
+const MaxFrame = 16 << 20
+
+// Op codes.
+const (
+	opRegister  = "register"
+	opPinglists = "pinglists"
+	opLookup    = "lookup"
+	opUpload    = "upload"
+)
+
+type request struct {
+	Op       string             `json:"op"`
+	Register []proto.RNICInfo   `json:"register,omitempty"`
+	Host     topo.HostID        `json:"host,omitempty"`
+	IP       netip.Addr         `json:"ip,omitzero"`
+	Batch    *proto.UploadBatch `json:"batch,omitempty"`
+}
+
+type response struct {
+	OK        bool             `json:"ok"`
+	Error     string           `json:"error,omitempty"`
+	Pinglists []proto.Pinglist `json:"pinglists,omitempty"`
+	Info      *proto.RNICInfo  `json:"info,omitempty"`
+	Found     bool             `json:"found,omitempty"`
+}
+
+// writeFrame writes one length-prefixed JSON frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Server exposes a Controller and an UploadSink over TCP. Either may be
+// nil, in which case the corresponding ops fail.
+type Server struct {
+	ln   net.Listener
+	ctrl proto.Controller
+	sink proto.UploadSink
+
+	mu     sync.Mutex // serializes backend access
+	connWG sync.WaitGroup
+	closed chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts accepting on ln. It returns immediately; the accept loop
+// runs until Close.
+func Serve(ln net.Listener, ctrl proto.Controller, sink proto.UploadSink) *Server {
+	s := &Server{
+		ln: ln, ctrl: ctrl, sink: sink,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience: listen on addr ("127.0.0.1:0" for tests) and
+// serve.
+func Listen(addr string, ctrl proto.Controller, sink proto.UploadSink) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, ctrl, sink), nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes live connections, and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF or garbage: drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case opRegister:
+		if s.ctrl == nil {
+			return response{Error: "no controller"}
+		}
+		s.ctrl.Register(req.Register)
+		return response{OK: true}
+	case opPinglists:
+		if s.ctrl == nil {
+			return response{Error: "no controller"}
+		}
+		return response{OK: true, Pinglists: s.ctrl.Pinglists(req.Host)}
+	case opLookup:
+		if s.ctrl == nil {
+			return response{Error: "no controller"}
+		}
+		info, found := s.ctrl.Lookup(req.IP)
+		return response{OK: true, Info: &info, Found: found}
+	case opUpload:
+		if s.sink == nil {
+			return response{Error: "no sink"}
+		}
+		if req.Batch == nil {
+			return response{Error: "missing batch"}
+		}
+		s.sink.Upload(*req.Batch)
+		return response{OK: true}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client speaks the wire protocol and implements proto.Controller and
+// proto.UploadSink. It is safe for concurrent use; requests are
+// serialized on one connection. A broken connection is redialled once
+// per request (Controllers restart; Agents keep running — §4.1's
+// re-registration story depends on it).
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	err    error
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{addr: addr, conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.err = errors.New("wire: client closed")
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Err returns the last unrecovered transport error encountered by the
+// fire-and-forget interface methods (Register/Upload), or nil.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Client) roundTrip(req *request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return response{}, c.err
+	}
+	resp, err := c.attempt(req)
+	if err == nil {
+		c.err = nil
+		return resp, nil
+	}
+	if !resp.OK && resp.Error != "" {
+		// Application-level error: the transport is fine.
+		return resp, err
+	}
+	// Transport failure: redial once and retry.
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	conn, derr := net.Dial("tcp", c.addr)
+	if derr != nil {
+		c.err = derr
+		return response{}, derr
+	}
+	c.conn = conn
+	resp, err = c.attempt(req)
+	if err != nil {
+		c.err = err
+		return response{}, err
+	}
+	c.err = nil
+	return resp, nil
+}
+
+// attempt runs one request on the current connection; callers hold mu.
+func (c *Client) attempt(req *request) (response, error) {
+	if c.conn == nil {
+		return response{}, errors.New("wire: no connection")
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return response{}, err
+	}
+	if !resp.OK {
+		return resp, errors.New("wire: " + resp.Error)
+	}
+	return resp, nil
+}
+
+// Register implements proto.Controller.
+func (c *Client) Register(infos []proto.RNICInfo) {
+	_, _ = c.roundTrip(&request{Op: opRegister, Register: infos})
+}
+
+// Pinglists implements proto.Controller.
+func (c *Client) Pinglists(host topo.HostID) []proto.Pinglist {
+	resp, err := c.roundTrip(&request{Op: opPinglists, Host: host})
+	if err != nil {
+		return nil
+	}
+	return resp.Pinglists
+}
+
+// Lookup implements proto.Controller.
+func (c *Client) Lookup(ip netip.Addr) (proto.RNICInfo, bool) {
+	resp, err := c.roundTrip(&request{Op: opLookup, IP: ip})
+	if err != nil || !resp.Found || resp.Info == nil {
+		return proto.RNICInfo{}, false
+	}
+	return *resp.Info, true
+}
+
+// Upload implements proto.UploadSink.
+func (c *Client) Upload(batch proto.UploadBatch) {
+	_, _ = c.roundTrip(&request{Op: opUpload, Batch: &batch})
+}
+
+var (
+	_ proto.Controller = (*Client)(nil)
+	_ proto.UploadSink = (*Client)(nil)
+)

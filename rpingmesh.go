@@ -1,0 +1,127 @@
+// Package rpingmesh is the public facade of the R-Pingmesh reproduction:
+// a service-aware RoCE network monitoring and diagnostic system based on
+// end-to-end active probing (Liu et al., SIGCOMM 2024), together with the
+// simulated RoCE substrate it runs on.
+//
+// A deployment is a Cluster: a topology populated with software RNICs,
+// per-host Agents, a Controller, and an Analyzer. The quickstart is:
+//
+//	tp, _ := rpingmesh.BuildClos(rpingmesh.ClosConfig{
+//		Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 4,
+//		HostsPerToR: 2, RNICsPerHost: 2,
+//	})
+//	cluster, _ := rpingmesh.New(rpingmesh.Config{Topology: tp})
+//	cluster.StartAgents()
+//	cluster.Run(rpingmesh.Minute)
+//	report, _ := cluster.Analyzer.LastReport()
+//
+// Fault injection (the 14 root causes of the paper's Table 2) lives in
+// internal/faultgen via NewInjector; DML workloads via Cluster.NewJob;
+// the paper's tables and figures via the Experiments registry.
+package rpingmesh
+
+import (
+	"rpingmesh/internal/agent"
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/core"
+	"rpingmesh/internal/experiments"
+	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/service"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+	"rpingmesh/internal/watchdog"
+)
+
+// Core deployment types.
+type (
+	// Config assembles a cluster; see core.Config for the full set of
+	// knobs (topology is required, everything else defaults to the
+	// paper's deployment parameters).
+	Config = core.Config
+	// Cluster is a fully wired R-Pingmesh deployment.
+	Cluster = core.Cluster
+	// AgentConfig carries the Agent's running parameters (§5).
+	AgentConfig = agent.Config
+)
+
+// Topology construction.
+type (
+	// Topology is the cluster graph.
+	Topology = topo.Topology
+	// ClosConfig parameterizes the 3-tier CLOS fabric of §6.
+	ClosConfig = topo.ClosConfig
+	// RailConfig parameterizes the rail-optimized fabric of §7.4.
+	RailConfig = topo.RailConfig
+)
+
+// Analysis outputs.
+type (
+	// WindowReport is one 20-second analysis window's outcome.
+	WindowReport = analyzer.WindowReport
+	// Problem is a detected-and-located problem with its P0/P1/P2
+	// priority.
+	Problem = analyzer.Problem
+	// Priority is the impact triage level.
+	Priority = analyzer.Priority
+)
+
+// Priorities.
+const (
+	P0 = analyzer.P0
+	P1 = analyzer.P1
+	P2 = analyzer.P2
+)
+
+// Workloads and faults.
+type (
+	// JobConfig parameterizes a DML training job.
+	JobConfig = service.Config
+	// Job is a running training job.
+	Job = service.Job
+	// Fault is one injectable root cause (Table 2).
+	Fault = faultgen.Fault
+	// Injector applies faults to a cluster.
+	Injector = faultgen.Injector
+)
+
+// Virtual time.
+type Time = sim.Time
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// BuildClos builds a 3-tier CLOS topology.
+func BuildClos(cfg ClosConfig) (*Topology, error) { return topo.BuildClos(cfg) }
+
+// BuildRailOptimized builds a 2-tier rail-optimized topology.
+func BuildRailOptimized(cfg RailConfig) (*Topology, error) { return topo.BuildRailOptimized(cfg) }
+
+// NewInjector builds a fault injector over a cluster.
+func NewInjector(c *Cluster, seed int64) *Injector { return faultgen.NewInjector(c, seed) }
+
+// Watchdog is the §7.5 counter-based early-warning extension.
+type Watchdog = watchdog.Watchdog
+
+// WatchdogConfig tunes the watchdog's sweep period and thresholds.
+type WatchdogConfig = watchdog.Config
+
+// NewWatchdog attaches the counter watchdog to a cluster (call Start on
+// the result to begin sweeping).
+func NewWatchdog(c *Cluster, cfg WatchdogConfig) *Watchdog { return watchdog.New(c, cfg) }
+
+// Experiments returns the registry reproducing every table and figure of
+// the paper's evaluation (see DESIGN.md for the index).
+func Experiments() []experiments.Experiment { return experiments.All() }
+
+// Experiment looks up one experiment by ID ("fig1" … "table2",
+// "ablation-…").
+func Experiment(id string) (experiments.Experiment, bool) { return experiments.ByID(id) }
