@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages (ingest pipeline, tsdb, wire) get a
+# dedicated race pass with repetition; everything else runs once.
+race:
+	$(GO) test -race -count=2 ./internal/pipeline ./internal/tsdb ./internal/wire
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet race

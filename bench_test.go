@@ -10,9 +10,16 @@
 package rpingmesh_test
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"rpingmesh/internal/experiments"
+	"rpingmesh/internal/pipeline"
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+	"rpingmesh/internal/tsdb"
 )
 
 // runExp runs one experiment per bench iteration, reports chosen metrics,
@@ -310,4 +317,85 @@ func BenchmarkExtDiagnosis(b *testing.B) {
 			b.Fatalf("root-cause diagnosis got %v/%v", m["correct"], m["cases"])
 		}
 	})
+}
+
+// --- Ingest tier microbenchmarks (not paper exhibits): raw throughput of
+// the pipeline and the tsdb, the two hot paths a production-scale
+// deployment (tens of thousands of Agents) leans on.
+
+// BenchmarkPipelineIngest measures batches/sec through a 4-partition
+// pipeline in concurrent mode, 16 producer hosts, 8 results per batch.
+func BenchmarkPipelineIngest(b *testing.B) {
+	var delivered atomic.Uint64
+	p := pipeline.New(
+		pipeline.Config{Partitions: 4, Capacity: 1024},
+		proto.UploadSinkFunc(func(ub proto.UploadBatch) {
+			delivered.Add(uint64(len(ub.Results)))
+		}),
+	)
+	p.Start()
+	defer p.Stop()
+
+	hosts := make([]topo.HostID, 16)
+	for i := range hosts {
+		hosts[i] = topo.HostID(fmt.Sprintf("host-%d", i))
+	}
+	results := make([]proto.ProbeResult, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Upload(proto.UploadBatch{
+			Host: hosts[i%len(hosts)], Seq: uint64(i + 1), Results: results,
+		})
+	}
+	p.Stop()
+	b.StopTimer()
+	if got := delivered.Load(); got != uint64(b.N)*8 {
+		b.Fatalf("delivered %d results, want %d (pipeline lost data under Block)", got, uint64(b.N)*8)
+	}
+}
+
+// BenchmarkTSDBAppend measures points/sec into one series with all three
+// tiers folding (raw ring + window + coarse buckets).
+func BenchmarkTSDBAppend(b *testing.B) {
+	db := tsdb.Open(tsdb.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append("bench", sim.Time(i)*sim.Second, float64(i))
+	}
+}
+
+// BenchmarkTSDBRangeQuery measures range scans spanning all three
+// resolutions over a fully populated series.
+func BenchmarkTSDBRangeQuery(b *testing.B) {
+	db := tsdb.Open(tsdb.Config{})
+	const n = 200000
+	for i := 0; i < n; i++ {
+		db.Append("bench", sim.Time(i)*sim.Second, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := db.Range("bench", 0, n*sim.Second)
+		if len(pts) == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+// BenchmarkTSDBQuantile measures quantile-over-range across tiers.
+func BenchmarkTSDBQuantile(b *testing.B) {
+	db := tsdb.Open(tsdb.Config{})
+	const n = 200000
+	for i := 0; i < n; i++ {
+		db.Append("bench", sim.Time(i)*sim.Second, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Quantile("bench", 0, n*sim.Second, 0.99); !ok {
+			b.Fatal("no quantile")
+		}
+	}
 }

@@ -1,12 +1,15 @@
-// Command rpmesh-controller runs a standalone R-Pingmesh Controller (and
-// an upload sink standing in for the Analyzer ingest tier) over TCP — the
-// management-network deployment of the paper's Figure 3. Agents connect
+// Command rpmesh-controller runs a standalone R-Pingmesh Controller plus
+// the telemetry ingest tier (pipeline + time-series store — the
+// Kafka/Flink/DB slice of the paper's Figure 3) over TCP. Agents connect
 // with internal/wire.Client, register their RNIC communication info, pull
-// pinglists, and push probe-result batches.
+// pinglists, and push probe-result batches; batches flow through a
+// sharded bounded pipeline into an aggregator that publishes per-interval
+// RTT and ingest metrics into a bounded tsdb.
 //
 // Usage:
 //
-//	rpmesh-controller [-listen 127.0.0.1:7201] [-pods 2 -tors 2 -aggs 2 -spines 4 -hosts 2 -rnics 2]
+//	rpmesh-controller [-listen 127.0.0.1:7201] [-partitions 4 -capacity 256 -policy block]
+//	                  [-pods 2 -tors 2 -aggs 2 -spines 4 -hosts 2 -rnics 2]
 package main
 
 import (
@@ -15,33 +18,81 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sync/atomic"
+	"sync"
 	"syscall"
 	"time"
 
 	"rpingmesh/internal/controller"
+	"rpingmesh/internal/metrics"
+	"rpingmesh/internal/pipeline"
 	"rpingmesh/internal/proto"
 	"rpingmesh/internal/sim"
 	"rpingmesh/internal/topo"
+	"rpingmesh/internal/tsdb"
 	"rpingmesh/internal/wire"
 )
 
-// countingSink tallies uploads; the real Analyzer would consume them per
-// 20s window.
-type countingSink struct {
-	batches  atomic.Int64
-	results  atomic.Int64
-	timeouts atomic.Int64
+// aggregator consumes pipeline deliveries and folds them into both a
+// running tally and per-interval RTT distributions, published into the
+// tsdb on every stats tick — the standalone daemon's miniature Analyzer.
+type aggregator struct {
+	db *tsdb.DB
+
+	mu       sync.Mutex
+	batches  uint64
+	results  uint64
+	timeouts uint64
+	rtt      *metrics.Distribution // reset every publish interval
 }
 
-func (s *countingSink) Upload(b proto.UploadBatch) {
-	s.batches.Add(1)
-	s.results.Add(int64(len(b.Results)))
+func newAggregator(db *tsdb.DB) *aggregator {
+	return &aggregator{db: db, rtt: metrics.NewDistribution()}
+}
+
+func (a *aggregator) Upload(b proto.UploadBatch) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.batches++
+	a.results += uint64(len(b.Results))
 	for _, r := range b.Results {
 		if r.Timeout {
-			s.timeouts.Add(1)
+			a.timeouts++
+			continue
 		}
+		a.rtt.Add(float64(r.NetworkRTT) / float64(sim.Microsecond))
 	}
+}
+
+// publish seals the current interval into the tsdb and returns a one-line
+// summary. t is the wall clock in ns (the daemon's sim.Time axis).
+func (a *aggregator) publish(t sim.Time) string {
+	a.mu.Lock()
+	s := a.rtt.Summarize()
+	batches, results, timeouts := a.batches, a.results, a.timeouts
+	a.rtt = metrics.NewDistribution()
+	a.mu.Unlock()
+
+	a.db.Append("ingest.batches", t, float64(batches))
+	a.db.Append("ingest.results", t, float64(results))
+	a.db.Append("ingest.timeouts", t, float64(timeouts))
+	if s.Count > 0 {
+		a.db.Append("rtt.p50_us", t, s.P50)
+		a.db.Append("rtt.p99_us", t, s.P99)
+	}
+	return fmt.Sprintf("batches=%d results=%d timeouts=%d rtt_us[%s]",
+		batches, results, timeouts, s)
+}
+
+func parsePolicy(s string) (pipeline.Policy, error) {
+	switch s {
+	case "block":
+		return pipeline.Block, nil
+	case "drop-oldest":
+		return pipeline.DropOldest, nil
+	case "drop-newest":
+		return pipeline.DropNewest, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want block, drop-oldest or drop-newest)", s)
 }
 
 func main() {
@@ -52,8 +103,16 @@ func main() {
 	spines := flag.Int("spines", 4, "spines")
 	hosts := flag.Int("hosts", 2, "hosts per ToR")
 	rnics := flag.Int("rnics", 2, "RNICs per host")
+	partitions := flag.Int("partitions", 4, "ingest pipeline partitions")
+	capacity := flag.Int("capacity", 256, "per-partition queue capacity (batches)")
+	policy := flag.String("policy", "block", "overload policy: block, drop-oldest, drop-newest")
+	statsEvery := flag.Duration("stats", 10*time.Second, "self-metrics print interval")
 	flag.Parse()
 
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tp, err := topo.BuildClos(topo.ClosConfig{
 		Pods: *pods, ToRsPerPod: *tors, AggsPerPod: *aggs, Spines: *spines,
 		HostsPerToR: *hosts, RNICsPerHost: *rnics,
@@ -62,27 +121,55 @@ func main() {
 		log.Fatalf("topology: %v", err)
 	}
 	ctrl := controller.New(sim.New(time.Now().UnixNano()), tp, controller.Config{})
-	sink := &countingSink{}
 
-	srv, err := wire.Listen(*listen, ctrl, sink)
+	// The ingest tier: wire.Server → pipeline (concurrent mode, one
+	// consumer per partition) → aggregator → tsdb.
+	db := tsdb.Open(tsdb.Config{})
+	agg := newAggregator(db)
+	pipe := pipeline.New(pipeline.Config{
+		Partitions: *partitions, Capacity: *capacity, Policy: pol,
+	}, agg)
+	pipe.Start()
+	defer pipe.Stop()
+
+	srv, err := wire.Listen(*listen, ctrl, pipe)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
-	fmt.Printf("rpmesh-controller serving %s (%d RNICs across %d hosts)\n",
-		srv.Addr(), len(tp.RNICs), len(tp.Hosts))
+	fmt.Printf("rpmesh-controller serving %s (%d RNICs across %d hosts; ingest: %d partitions × cap %d, policy %s)\n",
+		srv.Addr(), len(tp.RNICs), len(tp.Hosts), *partitions, *capacity, pol)
 
-	tick := time.NewTicker(10 * time.Second)
+	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	for {
 		select {
 		case <-tick.C:
-			fmt.Printf("registered=%d batches=%d results=%d timeouts=%d\n",
-				ctrl.Registered(), sink.batches.Load(), sink.results.Load(), sink.timeouts.Load())
+			now := sim.Time(time.Now().UnixNano())
+			line := agg.publish(now)
+			st := pipe.Stats()
+			fmt.Printf("registered=%d %s\n", ctrl.Registered(), line)
+			fmt.Printf("  pipeline: %s\n", st)
+			for i, ps := range st.Partitions {
+				if ps.Enqueued == 0 && ps.Depth == 0 {
+					continue
+				}
+				fmt.Printf("  part[%d]: depth=%d max_depth=%d in=%d out=%d dropped=%d\n",
+					i, ps.Depth, ps.MaxDepth, ps.Enqueued, ps.Dequeued,
+					ps.DroppedOldest+ps.DroppedNewest)
+			}
+			if p50, ok := db.Latest("rtt.p50_us"); ok {
+				q99, _ := db.Quantile("rtt.p99_us", now-sim.Time(10*time.Minute), now, 0.5)
+				fmt.Printf("  tsdb: rtt.p50=%.1fus (latest) rtt.p99=%.1fus (10m median) series=%d\n",
+					p50.V, q99, len(db.Series()))
+			}
 		case <-sig:
 			fmt.Println("shutting down")
+			pipe.Stop()
+			final := pipe.Stats()
+			fmt.Printf("final pipeline: %s\n", final)
 			return
 		}
 	}

@@ -1,9 +1,12 @@
 // Command rpmesh-report regenerates every experiment in paper order and
-// emits a Markdown report — the data behind EXPERIMENTS.md.
+// emits a Markdown report — the data behind EXPERIMENTS.md. With
+// -history it also runs a short deployment and answers historical range
+// and quantile queries from the cluster's time-series store, showing the
+// ingest tier end to end.
 //
 // Usage:
 //
-//	rpmesh-report [-seed N] > report.md
+//	rpmesh-report [-seed N] [-history] [-history-only] > report.md
 package main
 
 import (
@@ -12,15 +15,71 @@ import (
 	"sort"
 	"time"
 
+	"rpingmesh/internal/core"
 	"rpingmesh/internal/experiments"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
 )
+
+// historyReport runs a small cluster long enough to close several
+// analyzer windows, then answers historical queries from cluster.TSDB —
+// the part of the report that exercises agent → pipeline → analyzer →
+// tsdb rather than in-memory experiment state.
+func historyReport(seed int64, span sim.Time) {
+	tp, err := topo.BuildClos(topo.ClosConfig{
+		Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 4,
+		HostsPerToR: 2, RNICsPerHost: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c, err := core.NewCluster(core.Config{Topology: tp, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	c.StartAgents()
+	c.Run(span)
+
+	us := func(ns float64) float64 { return ns / float64(sim.Microsecond) }
+	fmt.Printf("\n## historical-windows — Ingest tier: historical queries from the tsdb\n\n")
+	st := c.Ingest.Stats()
+	fmt.Println("```")
+	fmt.Printf("simulated %v; pipeline %s\n", time.Duration(span), st)
+	fmt.Printf("tsdb series: %d, windows retained: %d (analyzer ticked %d)\n",
+		len(c.TSDB.Series()), len(c.Analyzer.Reports()), c.Analyzer.TotalWindows())
+	fmt.Println("```")
+
+	fmt.Println()
+	fmt.Println("| window end | cluster p50 (us) | cluster p99 (us) | probes |")
+	fmt.Println("|---|---|---|---|")
+	p50s := c.TSDB.Range("cluster.rtt.p50", 0, c.Eng.Now())
+	for _, p := range p50s {
+		p99, _ := c.TSDB.Quantile("cluster.rtt.p99", p.T, p.T, 0.5)
+		probes, _ := c.TSDB.Quantile("cluster.probes", p.T, p.T, 0.5)
+		fmt.Printf("| %v | %.1f | %.1f | %.0f |\n",
+			time.Duration(p.T), us(p.V), us(p99), probes)
+	}
+	if q, ok := c.TSDB.Quantile("cluster.rtt.p99", 0, c.Eng.Now(), 0.5); ok {
+		fmt.Printf("\nmedian of per-window p99 over the whole run: %.1f us\n", us(q))
+	}
+	if p, ok := c.TSDB.Latest("cluster.rtt.p50"); ok {
+		fmt.Printf("latest cluster p50: %.1f us at %v\n", us(p.V), time.Duration(p.T))
+	}
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
+	history := flag.Bool("history", true, "append the tsdb historical-windows section")
+	historyOnly := flag.Bool("history-only", false, "emit only the tsdb historical-windows section")
 	flag.Parse()
 
 	fmt.Printf("# R-Pingmesh reproduction report (seed %d)\n", *seed)
 	start := time.Now()
+	if *historyOnly {
+		historyReport(*seed, 2*sim.Minute)
+		fmt.Printf("\n---\ntotal runtime %v\n", time.Since(start).Round(time.Second))
+		return
+	}
 	for _, e := range experiments.All() {
 		t0 := time.Now()
 		rep := e.Run(*seed)
@@ -42,6 +101,9 @@ func main() {
 			fmt.Printf("| %s | %.4g |\n", k, rep.Metrics[k])
 		}
 		fmt.Printf("\n_(ran in %v)_\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if *history {
+		historyReport(*seed, 2*sim.Minute)
 	}
 	fmt.Printf("\n---\ntotal runtime %v\n", time.Since(start).Round(time.Second))
 }

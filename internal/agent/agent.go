@@ -715,15 +715,23 @@ func (a *Agent) record(r proto.ProbeResult) {
 	a.results = append(a.results, r)
 }
 
-// upload ships buffered results to the Analyzer (every 5 s). A down host
-// uploads nothing — which is itself the Analyzer's host-down signal.
+// upload ships buffered results toward the Analyzer (every 5 s) — in the
+// full wiring the sink is the ingest pipeline, not the Analyzer itself.
+// A down host uploads nothing, which is itself the Analyzer's host-down
+// signal. Each batch carries a per-host sequence number so the ingest
+// tier's per-host FIFO guarantee is end-to-end checkable.
 func (a *Agent) upload() {
 	if a.host.Down() {
 		return
 	}
-	batch := proto.UploadBatch{Host: a.host.ID(), Sent: a.eng.Now(), Results: a.results}
-	a.results = nil
 	a.Stats.Uploads++
+	batch := proto.UploadBatch{
+		Host:    a.host.ID(),
+		Sent:    a.eng.Now(),
+		Seq:     uint64(a.Stats.Uploads),
+		Results: a.results,
+	}
+	a.results = nil
 	a.sink.Upload(batch)
 }
 

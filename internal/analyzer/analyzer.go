@@ -169,6 +169,13 @@ type QPNSource interface {
 	CurrentQPN(dev topo.DeviceID) (rnic.QPN, bool)
 }
 
+// MetricSink receives the Analyzer's per-window SLA/RTT aggregates as
+// time-series points — the storage tier of Fig 3. internal/tsdb.DB
+// implements it; the published series names are listed on publish.
+type MetricSink interface {
+	Append(series string, t sim.Time, v float64)
+}
+
 // Config parameterizes the Analyzer; zero values take the paper's
 // settings.
 type Config struct {
@@ -199,6 +206,12 @@ type Config struct {
 	// ServiceLinkTTL is how long a link stays in the service-network set
 	// after a service-tracing probe last crossed it (2 min).
 	ServiceLinkTTL sim.Time
+	// RetainWindows bounds the in-memory report history: only the most
+	// recent K WindowReports are kept, so memory is O(retention) even
+	// over simulated months (default 8192 ≈ 45 h of 20 s windows).
+	// Problems(), SeriesOf and Reports() cover the retained horizon; the
+	// full history lives in the tsdb the Analyzer publishes into.
+	RetainWindows int
 }
 
 func (c *Config) setDefaults() {
@@ -229,6 +242,9 @@ func (c *Config) setDefaults() {
 	if c.ServiceLinkTTL <= 0 {
 		c.ServiceLinkTTL = 2 * sim.Minute
 	}
+	if c.RetainWindows <= 0 {
+		c.RetainWindows = 8192
+	}
 }
 
 // Analyzer consumes Agent uploads and produces WindowReports.
@@ -255,6 +271,11 @@ type Analyzer struct {
 	rttBaselineP99 float64
 
 	windows []WindowReport
+	// ticks counts every analysis window ever run; with bounded
+	// retention len(windows) can lag behind it.
+	ticks int
+
+	sink MetricSink
 
 	// DisableCPUNoiseFilter reproduces the pre-fix behaviour of §6 (the
 	// 30 false-positive RNIC problems) for the Fig 6 ablation.
@@ -299,8 +320,17 @@ func (a *Analyzer) ObserveServicePerf(v float64) {
 	}
 }
 
-// Reports returns all window reports so far.
+// SetMetricSink directs the Analyzer to publish each window's aggregates
+// into the given store (call before the first Tick).
+func (a *Analyzer) SetMetricSink(s MetricSink) { a.sink = s }
+
+// Reports returns the retained window reports (the most recent
+// Config.RetainWindows of them).
 func (a *Analyzer) Reports() []WindowReport { return a.windows }
+
+// TotalWindows reports how many analysis windows have ever run, retained
+// or not.
+func (a *Analyzer) TotalWindows() int { return a.ticks }
 
 // LastReport returns the most recent window report.
 func (a *Analyzer) LastReport() (WindowReport, bool) {
@@ -338,10 +368,11 @@ func (a *Analyzer) Tick() WindowReport {
 	a.pending = nil
 
 	rep := WindowReport{
-		Index: len(a.windows),
+		Index: a.ticks,
 		Start: now - a.cfg.Window,
 		End:   now,
 	}
+	a.ticks++
 
 	// Refresh service-network membership from this window's
 	// service-tracing probes, then expire stale entries.
@@ -392,7 +423,41 @@ func (a *Analyzer) Tick() WindowReport {
 	a.assessImpact(&rep)
 
 	a.windows = append(a.windows, rep)
+	if len(a.windows) > a.cfg.RetainWindows {
+		shed := len(a.windows) - a.cfg.RetainWindows
+		a.windows = append(a.windows[:0], a.windows[shed:]...)
+	}
+	a.publish(&rep)
 	return rep
+}
+
+// publish ships the window's headline aggregates to the metric sink.
+// Series names are stable API for dashboards and rpmesh-report:
+//
+//	cluster.probes, cluster.rtt.p50, cluster.rtt.p99,
+//	cluster.drop.rnic_rate, cluster.drop.switch_rate,
+//	cluster.responder.p99, service.probes, service.rtt.p50,
+//	service.rtt.p99, noise.hostdown, noise.qpn_reset, noise.cpu,
+//	problems.count
+func (a *Analyzer) publish(rep *WindowReport) {
+	if a.sink == nil {
+		return
+	}
+	t := rep.End
+	put := func(name string, v float64) { a.sink.Append(name, t, v) }
+	put("cluster.probes", float64(rep.Cluster.Probes))
+	put("cluster.rtt.p50", rep.Cluster.RTT.P50)
+	put("cluster.rtt.p99", rep.Cluster.RTT.P99)
+	put("cluster.drop.rnic_rate", rep.Cluster.RNICDropRate)
+	put("cluster.drop.switch_rate", rep.Cluster.SwitchDropRate)
+	put("cluster.responder.p99", rep.Cluster.ResponderDelay.P99)
+	put("service.probes", float64(rep.Service.Probes))
+	put("service.rtt.p50", rep.Service.RTT.P50)
+	put("service.rtt.p99", rep.Service.RTT.P99)
+	put("noise.hostdown", float64(rep.HostDownTimeouts))
+	put("noise.qpn_reset", float64(rep.QPNResetTimeouts))
+	put("noise.cpu", float64(rep.CPUNoiseTimeouts))
+	put("problems.count", float64(len(rep.Problems)))
 }
 
 // cause is the per-result attribution.

@@ -1,0 +1,85 @@
+package analyzer
+
+import (
+	"testing"
+
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/sim"
+)
+
+// captureSink records everything the Analyzer publishes per window.
+type captureSink struct {
+	appends map[string][]float64
+	times   []sim.Time
+}
+
+func (s *captureSink) Append(name string, t sim.Time, v float64) {
+	if s.appends == nil {
+		s.appends = make(map[string][]float64)
+	}
+	s.appends[name] = append(s.appends[name], v)
+	if name == "cluster.probes" {
+		s.times = append(s.times, t)
+	}
+}
+
+// Window retention is bounded: only the most recent RetainWindows reports
+// stay in memory, absolute indices survive trimming, and every window —
+// retained or shed — was published to the metric sink.
+func TestWindowRetentionBounded(t *testing.T) {
+	h := newHarness(t, Config{RetainWindows: 4})
+	sink := &captureSink{}
+	h.an.SetMetricSink(sink)
+
+	devs := h.torA
+	const ticks = 10
+	for i := 0; i < ticks; i++ {
+		h.an.Upload(proto.UploadBatch{
+			Host:    h.tp.RNICs[devs[0]].Host,
+			Sent:    h.eng.Now(),
+			Results: []proto.ProbeResult{h.mkResult(devs[0], devs[1], proto.ToRMesh, false)},
+		})
+		h.eng.RunUntil(h.eng.Now() + h.an.Window())
+		h.an.Tick()
+	}
+
+	if got := h.an.TotalWindows(); got != ticks {
+		t.Fatalf("TotalWindows = %d, want %d", got, ticks)
+	}
+	reps := h.an.Reports()
+	if len(reps) != 4 {
+		t.Fatalf("retained %d reports, want 4", len(reps))
+	}
+	// Absolute window indices survive the trim.
+	if reps[0].Index != ticks-4 || reps[len(reps)-1].Index != ticks-1 {
+		t.Fatalf("retained indices [%d..%d], want [%d..%d]",
+			reps[0].Index, reps[len(reps)-1].Index, ticks-4, ticks-1)
+	}
+	last, ok := h.an.LastReport()
+	if !ok || last.Index != ticks-1 {
+		t.Fatalf("LastReport index = %d %v", last.Index, ok)
+	}
+
+	// The sink saw every window, including the six that were shed.
+	if n := len(sink.appends["cluster.probes"]); n != ticks {
+		t.Fatalf("sink got %d cluster.probes appends, want %d", n, ticks)
+	}
+	for i := 1; i < len(sink.times); i++ {
+		if sink.times[i] <= sink.times[i-1] {
+			t.Fatalf("publish times not increasing: %v", sink.times)
+		}
+	}
+}
+
+// The default retention is wide enough that no existing workload ever
+// trims (tests elsewhere rely on Reports() being complete).
+func TestWindowRetentionDefault(t *testing.T) {
+	h := newHarness(t, Config{})
+	for i := 0; i < 100; i++ {
+		h.eng.RunUntil(h.eng.Now() + h.an.Window())
+		h.an.Tick()
+	}
+	if len(h.an.Reports()) != 100 || h.an.TotalWindows() != 100 {
+		t.Fatalf("default retention trimmed: %d/%d", len(h.an.Reports()), h.an.TotalWindows())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rpingmesh/internal/agent"
 	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/controller"
+	"rpingmesh/internal/pipeline"
 	"rpingmesh/internal/proto"
 	"rpingmesh/internal/rnic"
 	"rpingmesh/internal/service"
@@ -18,6 +19,7 @@ import (
 	"rpingmesh/internal/simnet"
 	"rpingmesh/internal/topo"
 	"rpingmesh/internal/trace"
+	"rpingmesh/internal/tsdb"
 	"rpingmesh/internal/verbs"
 )
 
@@ -30,6 +32,14 @@ type Config struct {
 	Agent      agent.Config
 	Controller controller.Config
 	Analyzer   analyzer.Config
+	// Pipeline configures the ingest tier between the Agents and the
+	// Analyzer. The cluster forces deferred (deterministic) mode on it:
+	// drains ride the simulation engine, so delivery happens at the same
+	// virtual instant as the upload, in global upload order.
+	Pipeline pipeline.Config
+	// TSDB configures the bounded time-series store the Analyzer
+	// publishes per-window aggregates into.
+	TSDB tsdb.Config
 
 	// MaxClockOffset randomizes each RNIC and host clock offset uniformly
 	// in [-MaxClockOffset, +MaxClockOffset]. Defaults to 10 s — large
@@ -71,21 +81,32 @@ type Cluster struct {
 	Analyzer   *analyzer.Analyzer
 	Tracer     trace.PathTracer
 	Hosts      map[topo.HostID]*HostNode
+	// Ingest is the pipeline every Agent uploads into (the Kafka/Flink
+	// tier of Fig 3); the Analyzer and all taps consume from it.
+	Ingest *pipeline.Pipeline
+	// TSDB holds the Analyzer's per-window aggregates for historical
+	// queries.
+	TSDB *tsdb.DB
 
 	cfg  Config
 	taps []func(proto.UploadBatch)
 }
 
-// Upload implements proto.UploadSink: the cluster sits between the Agents
-// and the Analyzer so experiments can tap the raw result stream.
-func (c *Cluster) Upload(b proto.UploadBatch) {
+// Upload implements proto.UploadSink by enqueueing into the ingest
+// pipeline — external injectors (e.g. a wire.Server) take the same path
+// the Agents do.
+func (c *Cluster) Upload(b proto.UploadBatch) { c.Ingest.Upload(b) }
+
+// deliver is the pipeline's downstream: taps first, then the Analyzer.
+func (c *Cluster) deliver(b proto.UploadBatch) {
 	for _, tap := range c.taps {
 		tap(b)
 	}
 	c.Analyzer.Upload(b)
 }
 
-// TapUploads registers an observer for every Agent upload.
+// TapUploads registers an observer for every batch the ingest tier
+// delivers (coalesced, in upload order).
 func (c *Cluster) TapUploads(fn func(proto.UploadBatch)) { c.taps = append(c.taps, fn) }
 
 // NewCluster builds (but does not start) a cluster.
@@ -133,6 +154,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg:    cfg,
 	}
 
+	// Ingest tier: Agents upload into the pipeline; the pipeline delivers
+	// (deterministically, same virtual instant) to the taps and the
+	// Analyzer. The Analyzer publishes each window into the tsdb.
+	pcfg := cfg.Pipeline
+	pcfg.Defer = func(fn func()) { eng.After(0, fn) }
+	pcfg.Now = func() int64 { return int64(eng.Now()) }
+	c.Ingest = pipeline.New(pcfg, proto.UploadSinkFunc(c.deliver))
+	c.TSDB = tsdb.Open(cfg.TSDB)
+	an.SetMetricSink(c.TSDB)
+
 	agentCtrl := proto.Controller(ctrl)
 	if cfg.WrapController != nil {
 		agentCtrl = cfg.WrapController(ctrl)
@@ -156,9 +187,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.Hosts[hid] = node
 	}
 
-	// Periodic control-plane work: the Analyzer window and the
+	// Periodic control-plane work: the Analyzer window (flushing the
+	// ingest tier first so windows close on complete data) and the
 	// Controller's hourly tuple rotation.
-	eng.Every(an.Window(), an.Window(), func() { an.Tick() })
+	eng.Every(an.Window(), an.Window(), func() {
+		c.Ingest.DrainAll()
+		an.Tick()
+	})
 	eng.Every(cfg.RotateInterval, cfg.RotateInterval, ctrl.RotateInterToR)
 
 	return c, nil

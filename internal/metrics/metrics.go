@@ -174,6 +174,30 @@ func (c *Counter) Rate() float64 {
 	return float64(c.Bad) / float64(c.Total)
 }
 
+// Gauge tracks an instantaneous level and its high-water mark (queue
+// depths, inflight counts). Like the rest of this package it is not
+// synchronized; callers guard it with their own locks.
+type Gauge struct {
+	v, max int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the current level by d.
+func (g *Gauge) Add(d int64) { g.Set(g.v + d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
 // Point is one sample of a time series.
 type Point struct {
 	T float64 // seconds since run start

@@ -1,0 +1,522 @@
+// Package pipeline is the telemetry ingest tier between the Agents and
+// the Analyzer — the role Kafka + Flink play in the paper's production
+// deployment (§4.3, Fig 3). Agents never talk to the Analyzer directly:
+// upload batches are hashed by source host into N partitions, each a
+// bounded FIFO with an explicit overload policy, and per-partition
+// consumers deliver coalesced batches to every subscribed sink. This is
+// what lets the system absorb tens of thousands of Agents without the
+// Analyzer's window ever blocking a producer.
+//
+// The pipeline runs in one of two modes:
+//
+//   - Deferred (single-threaded): when Config.Defer is set, every enqueue
+//     schedules a drain through it. core.Cluster passes the simulation
+//     engine's After(0, …) so ingestion stays deterministic: batches pass
+//     through the partition queues and are delivered, in global enqueue
+//     order, at the same virtual instant they were uploaded.
+//
+//   - Concurrent: after Start(), one consumer goroutine per partition
+//     drains continuously. This is the mode cmd/rpmesh-controller runs
+//     over real TCP. Ordering is then guaranteed per source host only
+//     (a host always hashes to the same partition), exactly like a
+//     keyed Kafka topic.
+//
+// Every drop is accounted — nothing is shed silently — and the pipeline
+// exposes its own observability (per-partition depth, enqueue/dequeue
+// counts, drops by policy, delivery lag) through internal/metrics types.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rpingmesh/internal/metrics"
+	"rpingmesh/internal/proto"
+)
+
+// Policy is a partition's overload behaviour once its queue is full.
+type Policy int
+
+const (
+	// Block applies backpressure: a concurrent producer waits for space;
+	// a deferred/manual producer drains the partition inline (it pays the
+	// delivery cost itself). No batch is ever lost under Block.
+	Block Policy = iota
+	// DropOldest sheds the head of the queue to admit the new batch —
+	// fresh telemetry wins, history loses (the Kafka "delete oldest
+	// segment" analogue).
+	DropOldest
+	// DropNewest rejects the incoming batch — history wins, fresh
+	// telemetry loses.
+	DropNewest
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the pipeline; zero values take sane defaults.
+type Config struct {
+	// Partitions is the shard count (default 4). A source host always
+	// maps to the same partition, so per-host FIFO order survives
+	// concurrent consumption.
+	Partitions int
+	// Capacity bounds each partition queue in batches (default 256).
+	Capacity int
+	// Policy is the overload behaviour (default Block).
+	Policy Policy
+	// MaxCoalesce caps how many queued batches one drain merges into a
+	// single downstream delivery per host (default 64).
+	MaxCoalesce int
+	// Defer, when set, switches the pipeline to deferred single-threaded
+	// mode: each enqueue schedules one drain through it instead of
+	// waking a consumer goroutine. The simulation passes the engine's
+	// zero-delay scheduler here.
+	Defer func(func())
+	// Now supplies the clock used for delivery-lag accounting, in
+	// nanoseconds. Defaults to the wall clock; the simulation passes
+	// virtual time.
+	Now func() int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = 64
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+}
+
+// item is one queued upload with its ingest bookkeeping.
+type item struct {
+	seq   uint64 // global enqueue order
+	at    int64  // Config.Now() at enqueue, for lag
+	batch proto.UploadBatch
+}
+
+// partition is one bounded shard queue.
+type partition struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []item
+
+	depth         metrics.Gauge
+	enqueued      uint64
+	dequeued      uint64
+	droppedOldest uint64
+	droppedNewest uint64
+	resultsShed   uint64
+	blockWaits    uint64
+}
+
+// PartitionStats is one shard's observability snapshot.
+type PartitionStats struct {
+	Depth         int64
+	MaxDepth      int64
+	Enqueued      uint64
+	Dequeued      uint64
+	DroppedOldest uint64
+	DroppedNewest uint64
+	// ResultsShed counts probe results inside dropped batches.
+	ResultsShed uint64
+	// BlockWaits counts producer stalls (or inline drains) under Block.
+	BlockWaits uint64
+}
+
+// Stats is the pipeline-wide observability snapshot.
+type Stats struct {
+	Partitions []PartitionStats
+
+	// Batch counters, summed over partitions.
+	Enqueued      uint64
+	Dequeued      uint64
+	DroppedOldest uint64
+	DroppedNewest uint64
+	ResultsShed   uint64
+	BlockWaits    uint64
+
+	// Delivered counts downstream deliveries after coalescing (so
+	// Delivered ≤ Dequeued), and ResultsDelivered the probe results in
+	// them.
+	Delivered        uint64
+	ResultsDelivered uint64
+
+	// Lag summarizes queue residence time (ns) of dequeued batches;
+	// Lag.Max is the worst observed.
+	Lag metrics.Summary
+}
+
+// Dropped is the total batches shed under either drop policy.
+func (s Stats) Dropped() uint64 { return s.DroppedOldest + s.DroppedNewest }
+
+// String renders the one-line self-metrics summary the daemons print.
+func (s Stats) String() string {
+	return fmt.Sprintf("in=%d out=%d delivered=%d dropped(old=%d new=%d) shed_results=%d block_waits=%d max_lag=%s",
+		s.Enqueued, s.Dequeued, s.Delivered, s.DroppedOldest, s.DroppedNewest,
+		s.ResultsShed, s.BlockWaits, time.Duration(int64(s.Lag.Max)))
+}
+
+// Pipeline is the sharded ingest bus. It implements proto.UploadSink.
+type Pipeline struct {
+	cfg   Config
+	parts []*partition
+
+	mu          sync.Mutex
+	seq         uint64
+	subs        []proto.UploadSink
+	drainArmed  bool
+	delivered   uint64
+	resultsOut  uint64
+	lag         *metrics.Distribution
+	running     bool
+	stopping    bool
+	consumersWG sync.WaitGroup
+}
+
+// New builds a pipeline delivering to the given sinks (more can be added
+// with Subscribe). The pipeline is usable immediately: in deferred mode
+// (Config.Defer set) it needs no Start; in concurrent mode call Start to
+// spawn the per-partition consumers, or call DrainAll manually.
+func New(cfg Config, sinks ...proto.UploadSink) *Pipeline {
+	cfg.setDefaults()
+	p := &Pipeline{
+		cfg:  cfg,
+		subs: append([]proto.UploadSink(nil), sinks...),
+		lag:  metrics.NewDistribution(),
+	}
+	p.parts = make([]*partition, cfg.Partitions)
+	for i := range p.parts {
+		pt := &partition{}
+		pt.notFull = sync.NewCond(&pt.mu)
+		pt.notEmpty = sync.NewCond(&pt.mu)
+		p.parts[i] = pt
+	}
+	return p
+}
+
+// Subscribe adds a downstream sink. Every delivery fans out to all
+// subscribers in registration order. Subscribe before Start (or from the
+// simulation's single thread); it is not safe to race with consumers.
+func (p *Pipeline) Subscribe(s proto.UploadSink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs = append(p.subs, s)
+}
+
+// PartitionOf reports which shard a host's uploads land on (FNV-1a).
+func (p *Pipeline) PartitionOf(host string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(host); i++ {
+		h ^= uint64(host[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(p.parts)))
+}
+
+// Upload implements proto.UploadSink: hash, admit under the overload
+// policy, and hand off to the partition's consumer.
+func (p *Pipeline) Upload(b proto.UploadBatch) {
+	pi := p.PartitionOf(string(b.Host))
+	pt := p.parts[pi]
+
+	p.mu.Lock()
+	p.seq++
+	it := item{seq: p.seq, at: p.cfg.Now(), batch: b}
+	p.mu.Unlock()
+
+	pt.mu.Lock()
+	for len(pt.items) >= p.cfg.Capacity {
+		switch p.cfg.Policy {
+		case DropOldest:
+			shed := pt.items[0]
+			copy(pt.items, pt.items[1:])
+			pt.items = pt.items[:len(pt.items)-1]
+			pt.droppedOldest++
+			pt.resultsShed += uint64(len(shed.batch.Results))
+		case DropNewest:
+			pt.droppedNewest++
+			pt.resultsShed += uint64(len(b.Results))
+			pt.mu.Unlock()
+			return
+		default: // Block
+			pt.blockWaits++
+			if p.isRunning() {
+				// A consumer goroutine will make room.
+				pt.notFull.Wait()
+				continue
+			}
+			// No consumer to wait for: the producer drains inline —
+			// synchronous backpressure, the deferred/manual analogue of
+			// blocking.
+			pt.mu.Unlock()
+			p.drainPartition(pi)
+			pt.mu.Lock()
+		}
+	}
+	pt.items = append(pt.items, it)
+	pt.enqueued++
+	pt.depth.Set(int64(len(pt.items)))
+	pt.notEmpty.Signal()
+	pt.mu.Unlock()
+
+	if p.cfg.Defer != nil {
+		p.armDrain()
+	}
+}
+
+func (p *Pipeline) isRunning() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// armDrain schedules one deferred DrainAll if none is already pending.
+func (p *Pipeline) armDrain() {
+	p.mu.Lock()
+	if p.drainArmed {
+		p.mu.Unlock()
+		return
+	}
+	p.drainArmed = true
+	p.mu.Unlock()
+	p.cfg.Defer(func() {
+		p.mu.Lock()
+		p.drainArmed = false
+		p.mu.Unlock()
+		p.DrainAll()
+	})
+}
+
+// Start spawns one consumer goroutine per partition (concurrent mode).
+func (p *Pipeline) Start() {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.stopping = false
+	p.mu.Unlock()
+	for i := range p.parts {
+		p.consumersWG.Add(1)
+		go p.consume(i)
+	}
+}
+
+// Stop halts the consumers, then drains whatever is still queued so no
+// accepted batch is lost across shutdown.
+func (p *Pipeline) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.stopping = true
+	p.mu.Unlock()
+	for _, pt := range p.parts {
+		pt.mu.Lock()
+		pt.notEmpty.Broadcast()
+		pt.notFull.Broadcast()
+		pt.mu.Unlock()
+	}
+	p.consumersWG.Wait()
+	p.mu.Lock()
+	p.running = false
+	p.stopping = false
+	p.mu.Unlock()
+	p.DrainAll()
+}
+
+func (p *Pipeline) consume(pi int) {
+	defer p.consumersWG.Done()
+	pt := p.parts[pi]
+	for {
+		pt.mu.Lock()
+		for len(pt.items) == 0 {
+			p.mu.Lock()
+			stop := p.stopping
+			p.mu.Unlock()
+			if stop {
+				pt.mu.Unlock()
+				return
+			}
+			pt.notEmpty.Wait()
+		}
+		batch := p.popLocked(pt)
+		pt.mu.Unlock()
+		p.deliver(batch)
+	}
+}
+
+// popLocked removes up to MaxCoalesce items from the partition (caller
+// holds pt.mu) and returns them in FIFO order.
+func (p *Pipeline) popLocked(pt *partition) []item {
+	n := len(pt.items)
+	if n > p.cfg.MaxCoalesce {
+		n = p.cfg.MaxCoalesce
+	}
+	out := make([]item, n)
+	copy(out, pt.items[:n])
+	rest := copy(pt.items, pt.items[n:])
+	pt.items = pt.items[:rest]
+	pt.dequeued += uint64(n)
+	pt.depth.Set(int64(len(pt.items)))
+	pt.notFull.Broadcast()
+	return out
+}
+
+// drainPartition synchronously empties one shard (used for inline
+// backpressure and by DrainAll).
+func (p *Pipeline) drainPartition(pi int) {
+	pt := p.parts[pi]
+	for {
+		pt.mu.Lock()
+		if len(pt.items) == 0 {
+			pt.mu.Unlock()
+			return
+		}
+		batch := p.popLocked(pt)
+		pt.mu.Unlock()
+		p.deliver(batch)
+	}
+}
+
+// DrainAll synchronously delivers everything queued, across partitions,
+// in global enqueue order — so in deferred (simulation) mode downstream
+// sinks observe exactly the upload order, deterministically. Safe to call
+// at any time; concurrent consumers and DrainAll never double-deliver a
+// batch (each pop is exclusive).
+func (p *Pipeline) DrainAll() {
+	for {
+		var items []item
+		for _, pt := range p.parts {
+			pt.mu.Lock()
+			if len(pt.items) > 0 {
+				items = append(items, p.popLocked(pt)...)
+			}
+			pt.mu.Unlock()
+		}
+		if len(items) == 0 {
+			return
+		}
+		// k-way merge by enqueue seq: partitions are FIFO, so a simple
+		// stable sort restores the global order.
+		sortItems(items)
+		p.deliver(items)
+	}
+}
+
+func sortItems(items []item) {
+	// Insertion sort: drains are small and mostly sorted already.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].seq < items[j-1].seq; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// deliver coalesces consecutive same-host batches and fans them out to
+// every subscriber. Called without any partition lock held.
+func (p *Pipeline) deliver(items []item) {
+	if len(items) == 0 {
+		return
+	}
+	now := p.cfg.Now()
+
+	p.mu.Lock()
+	subs := p.subs
+	for _, it := range items {
+		p.lag.Add(float64(now - it.at))
+	}
+	p.mu.Unlock()
+
+	flushFrom := 0
+	flush := func(hi int) {
+		if flushFrom >= hi {
+			return
+		}
+		merged := items[flushFrom].batch
+		if hi-flushFrom > 1 {
+			results := make([]proto.ProbeResult, 0, len(merged.Results))
+			for k := flushFrom; k < hi; k++ {
+				results = append(results, items[k].batch.Results...)
+			}
+			merged.Results = results
+			last := items[hi-1].batch
+			merged.Sent = last.Sent
+			merged.Seq = last.Seq
+		}
+		flushFrom = hi
+		p.mu.Lock()
+		p.delivered++
+		p.resultsOut += uint64(len(merged.Results))
+		p.mu.Unlock()
+		for _, s := range subs {
+			s.Upload(merged)
+		}
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].batch.Host != items[i-1].batch.Host {
+			flush(i)
+		}
+	}
+	flush(len(items))
+}
+
+// Depth reports the current queue depth of one partition.
+func (p *Pipeline) Depth(pi int) int {
+	pt := p.parts[pi]
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return len(pt.items)
+}
+
+// Stats snapshots the pipeline's self-metrics.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{Partitions: make([]PartitionStats, len(p.parts))}
+	for i, pt := range p.parts {
+		pt.mu.Lock()
+		ps := PartitionStats{
+			Depth:         int64(len(pt.items)),
+			MaxDepth:      pt.depth.Max(),
+			Enqueued:      pt.enqueued,
+			Dequeued:      pt.dequeued,
+			DroppedOldest: pt.droppedOldest,
+			DroppedNewest: pt.droppedNewest,
+			ResultsShed:   pt.resultsShed,
+			BlockWaits:    pt.blockWaits,
+		}
+		pt.mu.Unlock()
+		s.Partitions[i] = ps
+		s.Enqueued += ps.Enqueued
+		s.Dequeued += ps.Dequeued
+		s.DroppedOldest += ps.DroppedOldest
+		s.DroppedNewest += ps.DroppedNewest
+		s.ResultsShed += ps.ResultsShed
+		s.BlockWaits += ps.BlockWaits
+	}
+	p.mu.Lock()
+	s.Delivered = p.delivered
+	s.ResultsDelivered = p.resultsOut
+	s.Lag = p.lag.Summarize()
+	p.mu.Unlock()
+	return s
+}

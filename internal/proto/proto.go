@@ -110,10 +110,19 @@ type ProbeResult struct {
 	AckPath   []topo.LinkID `json:"ack_path,omitempty"`
 }
 
-// UploadBatch is the Agent's periodic (5 s) upload to the Analyzer.
+// UploadBatch is the Agent's periodic (5 s) upload toward the Analyzer.
+// In the full deployment it does not go there directly: batches enter the
+// ingest tier (internal/pipeline), which buffers, partitions and coalesces
+// them before delivery.
 type UploadBatch struct {
-	Host    topo.HostID   `json:"host"`
-	Sent    sim.Time      `json:"sent"`
+	Host topo.HostID `json:"host"`
+	Sent sim.Time    `json:"sent"`
+	// Seq is the per-host upload sequence number, strictly increasing
+	// across one Agent incarnation. The ingest tier preserves per-host
+	// FIFO order, which downstream consumers (and tests) verify against
+	// this field; a coalesced delivery carries the Seq of its newest
+	// constituent.
+	Seq     uint64        `json:"seq,omitempty"`
 	Results []ProbeResult `json:"results"`
 }
 
@@ -132,8 +141,15 @@ type Controller interface {
 	Lookup(ip netip.Addr) (RNICInfo, bool)
 }
 
-// UploadSink receives Agent uploads. Implemented by the Analyzer and by
-// the TCP transport.
+// UploadSink receives Agent uploads. Implemented by the Analyzer, the
+// ingest pipeline, and the TCP transport.
 type UploadSink interface {
 	Upload(batch UploadBatch)
 }
+
+// UploadSinkFunc adapts a plain function to UploadSink (taps, pipeline
+// subscribers).
+type UploadSinkFunc func(UploadBatch)
+
+// Upload implements UploadSink.
+func (f UploadSinkFunc) Upload(b UploadBatch) { f(b) }

@@ -1,0 +1,403 @@
+// Package tsdb is the bounded in-memory time-series store behind the
+// ingest tier — the role the paper's production database plays for
+// R-Pingmesh's per-window SLA aggregates. Every series holds three
+// fixed-size ring buffers at increasing coarseness:
+//
+//	raw    — every appended point, verbatim
+//	window — one aggregate bucket per WindowStep (default 20 s, the
+//	         Analyzer window)
+//	coarse — one aggregate bucket per CoarseStep (default 5 min)
+//
+// Appends fold each point into the open window and coarse buckets as they
+// arrive, so evicting a raw point loses no information the coarser tiers
+// carry; memory is O(retention), not O(uptime). Queries (range scan,
+// latest, quantile-over-range) answer from the finest tier that still
+// covers each span, so a scan reaching past the raw horizon degrades
+// gracefully into bucket means instead of failing.
+//
+// All methods are safe for concurrent use; timestamps are sim.Time
+// nanoseconds (virtual time in simulations, wall-clock nanoseconds in the
+// live daemons) and are expected non-decreasing per series — stragglers
+// are folded into the currently open buckets.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"rpingmesh/internal/metrics"
+	"rpingmesh/internal/sim"
+)
+
+// Config bounds the store; zero values take the defaults.
+type Config struct {
+	// RawCapacity is the per-series raw ring size in points (default
+	// 2048 ≈ 11 h of 20 s windows).
+	RawCapacity int
+	// WindowStep is the mid-tier bucket width (default 20 s).
+	WindowStep sim.Time
+	// WindowCapacity is the per-series mid-tier ring size in buckets
+	// (default 4096 ≈ 22 h).
+	WindowCapacity int
+	// CoarseStep is the coarse-tier bucket width (default 5 min).
+	CoarseStep sim.Time
+	// CoarseCapacity is the per-series coarse ring size (default 4096
+	// ≈ two weeks).
+	CoarseCapacity int
+}
+
+func (c *Config) setDefaults() {
+	if c.RawCapacity <= 0 {
+		c.RawCapacity = 2048
+	}
+	if c.WindowStep <= 0 {
+		c.WindowStep = 20 * sim.Second
+	}
+	if c.WindowCapacity <= 0 {
+		c.WindowCapacity = 4096
+	}
+	if c.CoarseStep <= 0 {
+		c.CoarseStep = 5 * sim.Minute
+	}
+	if c.CoarseCapacity <= 0 {
+		c.CoarseCapacity = 4096
+	}
+}
+
+// Point is one raw sample.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Bucket is one downsampled aggregate over [Start, Start+Step).
+type Bucket struct {
+	Start sim.Time
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Last  float64
+}
+
+// Mean is the bucket average (0 for an empty bucket).
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+func (b *Bucket) fold(v float64) {
+	if b.Count == 0 || v < b.Min {
+		b.Min = v
+	}
+	if b.Count == 0 || v > b.Max {
+		b.Max = v
+	}
+	b.Count++
+	b.Sum += v
+	b.Last = v
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring[T any] struct {
+	buf     []T
+	head    int // index of oldest
+	n       int
+	evicted uint64
+}
+
+func newRing[T any](capacity int) ring[T] { return ring[T]{buf: make([]T, capacity)} }
+
+func (r *ring[T]) push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	r.evicted++
+}
+
+// at returns the i-th element, 0 = oldest.
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+type series struct {
+	raw    ring[Point]
+	win    ring[Bucket]
+	coarse ring[Bucket]
+
+	curWin    Bucket
+	curCoarse Bucket
+	haveOpen  bool
+
+	appended uint64
+	lastT    sim.Time
+}
+
+// DB is the store. The zero value is not usable; call Open.
+type DB struct {
+	mu  sync.RWMutex
+	cfg Config
+	s   map[string]*series
+}
+
+// Open creates a store.
+func Open(cfg Config) *DB {
+	cfg.setDefaults()
+	return &DB{cfg: cfg, s: make(map[string]*series)}
+}
+
+func align(t, step sim.Time) sim.Time {
+	if t < 0 {
+		return t - (step - 1) - (t % step)
+	}
+	return t - t%step
+}
+
+// Append records one point. It implements the Analyzer's MetricSink, so
+// an *DB can be handed straight to Analyzer.SetMetricSink.
+func (db *DB) Append(name string, t sim.Time, v float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	se, ok := db.s[name]
+	if !ok {
+		se = &series{
+			raw:    newRing[Point](db.cfg.RawCapacity),
+			win:    newRing[Bucket](db.cfg.WindowCapacity),
+			coarse: newRing[Bucket](db.cfg.CoarseCapacity),
+		}
+		db.s[name] = se
+	}
+	se.appended++
+	if t > se.lastT {
+		se.lastT = t
+	}
+	se.raw.push(Point{T: t, V: v})
+
+	// Downsample at append time: seal buckets the new point has moved
+	// past, then fold it into the open ones. A straggler older than the
+	// open bucket is folded into the open bucket rather than rewriting
+	// sealed history.
+	if !se.haveOpen {
+		se.curWin = Bucket{Start: align(t, db.cfg.WindowStep)}
+		se.curCoarse = Bucket{Start: align(t, db.cfg.CoarseStep)}
+		se.haveOpen = true
+	}
+	if t >= se.curWin.Start+db.cfg.WindowStep {
+		if se.curWin.Count > 0 {
+			se.win.push(se.curWin)
+		}
+		se.curWin = Bucket{Start: align(t, db.cfg.WindowStep)}
+	}
+	if t >= se.curCoarse.Start+db.cfg.CoarseStep {
+		if se.curCoarse.Count > 0 {
+			se.coarse.push(se.curCoarse)
+		}
+		se.curCoarse = Bucket{Start: align(t, db.cfg.CoarseStep)}
+	}
+	se.curWin.fold(v)
+	se.curCoarse.fold(v)
+}
+
+// Series returns the stored series names, sorted.
+func (db *DB) Series() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.s))
+	for name := range db.s {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Latest returns the most recent point of a series.
+func (db *DB) Latest(name string) (Point, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	se, ok := db.s[name]
+	if !ok || se.raw.n == 0 {
+		return Point{}, false
+	}
+	return se.raw.at(se.raw.n - 1), true
+}
+
+// rawHorizon returns the oldest raw timestamp still retained.
+func (se *series) rawHorizon() (sim.Time, bool) {
+	if se.raw.n == 0 {
+		return 0, false
+	}
+	return se.raw.at(0).T, true
+}
+
+// winBuckets yields sealed + open window buckets in time order.
+func (se *series) winBuckets(yield func(Bucket) bool) {
+	for i := 0; i < se.win.n; i++ {
+		if !yield(se.win.at(i)) {
+			return
+		}
+	}
+	if se.haveOpen && se.curWin.Count > 0 {
+		yield(se.curWin)
+	}
+}
+
+func (se *series) coarseBuckets(yield func(Bucket) bool) {
+	for i := 0; i < se.coarse.n; i++ {
+		if !yield(se.coarse.at(i)) {
+			return
+		}
+	}
+	if se.haveOpen && se.curCoarse.Count > 0 {
+		yield(se.curCoarse)
+	}
+}
+
+// scanLocked walks [from, to] in time order, answering each span from the
+// finest tier that still covers it. No instant is ever answered twice:
+// a coarse bucket is used only where the window tier has evicted (and
+// then suppresses the finer buckets it already covers), and buckets
+// reaching past the raw horizon yield to raw points — at tier seams the
+// scan may skip up to one bucket width rather than double-count.
+// Caller holds db.mu.
+func (db *DB) scanLocked(se *series, from, to sim.Time, onRaw func(Point), onBucket func(Bucket)) {
+	horizon, haveRaw := se.rawHorizon()
+	rawFrom := from
+	if haveRaw && horizon > from {
+		// Window horizon = start of the oldest retained window bucket.
+		winHorizon := sim.Time(math.MaxInt64)
+		se.winBuckets(func(b Bucket) bool {
+			winHorizon = b.Start
+			return false
+		})
+		// Coarse tier covers what the window tier evicted.
+		coarseEnd := from
+		se.coarseBuckets(func(b Bucket) bool {
+			if b.Start+db.cfg.CoarseStep <= from || b.Start > to {
+				return true
+			}
+			if b.Start >= winHorizon {
+				return false // window tier retained from here on
+			}
+			if b.Start+db.cfg.CoarseStep > horizon {
+				return false // raw tier takes over
+			}
+			onBucket(b)
+			coarseEnd = b.Start + db.cfg.CoarseStep
+			return true
+		})
+		se.winBuckets(func(b Bucket) bool {
+			if b.Start+db.cfg.WindowStep <= from || b.Start > to {
+				return true
+			}
+			if b.Start < coarseEnd {
+				return true // a coarse bucket already answered this span
+			}
+			if b.Start+db.cfg.WindowStep > horizon {
+				return false // raw tier takes over
+			}
+			onBucket(b)
+			return true
+		})
+		rawFrom = horizon
+	}
+	for i := 0; i < se.raw.n; i++ {
+		p := se.raw.at(i)
+		if p.T >= rawFrom && p.T >= from && p.T <= to {
+			onRaw(p)
+		}
+	}
+}
+
+// Range scans [from, to] and returns one point per retained observation.
+// Spans older than the raw horizon degrade into downsampled points — one
+// per bucket, stamped at the bucket start and valued at the bucket mean.
+func (db *DB) Range(name string, from, to sim.Time) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	se, ok := db.s[name]
+	if !ok {
+		return nil
+	}
+	var out []Point
+	db.scanLocked(se, from, to,
+		func(p Point) { out = append(out, p) },
+		func(b Bucket) { out = append(out, Point{T: b.Start, V: b.Mean()}) })
+	return out
+}
+
+// Quantile computes the q-quantile of a series over [from, to]. Raw
+// spans are exact. Spans answered from downsampled tiers are
+// approximated: each bucket contributes its count's worth of samples
+// spread uniformly between its min and max (exact for uniform data,
+// honest at the extremes for anything else). A bucket's contribution is
+// capped at 4096 synthetic samples.
+func (db *DB) Quantile(name string, from, to sim.Time, q float64) (float64, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	se, ok := db.s[name]
+	if !ok {
+		return 0, false
+	}
+	d := metrics.NewDistribution()
+	db.scanLocked(se, from, to,
+		func(p Point) { d.Add(p.V) },
+		func(b Bucket) {
+			n := b.Count
+			if n > 4096 {
+				n = 4096
+			}
+			if n == 1 || b.Max == b.Min {
+				for k := int64(0); k < n; k++ {
+					d.Add(b.Min)
+				}
+				return
+			}
+			for k := int64(0); k < n; k++ {
+				d.Add(b.Min + (b.Max-b.Min)*float64(k)/float64(n-1))
+			}
+		})
+	if d.Count() == 0 {
+		return 0, false
+	}
+	return d.Quantile(q), true
+}
+
+// Stats summarizes the store's footprint and eviction activity.
+type Stats struct {
+	Series          int
+	Appended        uint64
+	RawPoints       int
+	RawEvicted      uint64
+	WindowBuckets   int
+	WindowEvicted   uint64
+	CoarseBuckets   int
+	CoarseEvicted   uint64
+	RetainedPoints  int // raw + buckets across tiers
+	CapacityPerSeri int // raw+win+coarse capacity, the memory bound driver
+}
+
+// Stats snapshots the store.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := Stats{
+		Series:          len(db.s),
+		CapacityPerSeri: db.cfg.RawCapacity + db.cfg.WindowCapacity + db.cfg.CoarseCapacity,
+	}
+	for _, se := range db.s {
+		st.Appended += se.appended
+		st.RawPoints += se.raw.n
+		st.RawEvicted += se.raw.evicted
+		st.WindowBuckets += se.win.n
+		st.WindowEvicted += se.win.evicted
+		st.CoarseBuckets += se.coarse.n
+		st.CoarseEvicted += se.coarse.evicted
+	}
+	st.RetainedPoints = st.RawPoints + st.WindowBuckets + st.CoarseBuckets
+	return st
+}

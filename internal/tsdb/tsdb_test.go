@@ -1,0 +1,239 @@
+package tsdb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rpingmesh/internal/sim"
+)
+
+func tiny() Config {
+	return Config{
+		RawCapacity:    8,
+		WindowStep:     10 * sim.Second,
+		WindowCapacity: 8,
+		CoarseStep:     sim.Minute,
+		CoarseCapacity: 8,
+	}
+}
+
+func TestLatestAndSeries(t *testing.T) {
+	db := Open(tiny())
+	if _, ok := db.Latest("missing"); ok {
+		t.Fatal("latest of a missing series")
+	}
+	db.Append("b", 1*sim.Second, 2)
+	db.Append("a", 2*sim.Second, 3)
+	db.Append("a", 3*sim.Second, 4)
+	if names := db.Series(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("series = %v", names)
+	}
+	p, ok := db.Latest("a")
+	if !ok || p.T != 3*sim.Second || p.V != 4 {
+		t.Fatalf("latest = %+v %v", p, ok)
+	}
+}
+
+// Raw points within the retained horizon come back verbatim.
+func TestRangeRaw(t *testing.T) {
+	db := Open(tiny())
+	for i := 0; i < 5; i++ {
+		db.Append("s", sim.Time(i)*sim.Second, float64(i))
+	}
+	pts := db.Range("s", 1*sim.Second, 3*sim.Second)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3: %v", len(pts), pts)
+	}
+	for i, p := range pts {
+		if p.V != float64(i+1) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+// Downsampling: points folded into 10s window buckets carry count, sum,
+// min, max; a range query past the raw horizon answers with bucket means.
+func TestDownsamplingAndEviction(t *testing.T) {
+	db := Open(tiny()) // raw keeps only 8 points
+	// 30 points, 1/s: raw retains the last 8 (t=22..29); windows cover
+	// the rest.
+	for i := 0; i < 30; i++ {
+		db.Append("s", sim.Time(i)*sim.Second, float64(i))
+	}
+	st := db.Stats()
+	if st.RawEvicted != 30-8 {
+		t.Fatalf("raw evictions %d, want 22", st.RawEvicted)
+	}
+	// Buckets sealed so far: [0,10) and [10,20); [20,30) is still open.
+	if st.WindowBuckets != 2 {
+		t.Fatalf("sealed window buckets %d, want 2", st.WindowBuckets)
+	}
+
+	pts := db.Range("s", 0, 29*sim.Second)
+	// 2 bucket means + 8 raw points.
+	if len(pts) != 10 {
+		t.Fatalf("got %d points, want 10: %v", len(pts), pts)
+	}
+	if pts[0].T != 0 || pts[0].V != 4.5 { // mean of 0..9
+		t.Fatalf("first bucket point = %+v", pts[0])
+	}
+	if pts[1].T != 10*sim.Second || pts[1].V != 14.5 { // mean of 10..19
+		t.Fatalf("second bucket point = %+v", pts[1])
+	}
+	if pts[2].T != 22*sim.Second || pts[2].V != 22 {
+		t.Fatalf("first raw point = %+v", pts[2])
+	}
+	// Time-ordered across the tier seam.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("range not time-ordered at %d: %v", i, pts)
+		}
+	}
+}
+
+// A query reaching past the window tier uses coarse buckets, then window
+// buckets, then raw — all three resolutions in one scan.
+func TestRangeSpansThreeTiers(t *testing.T) {
+	db := Open(Config{
+		RawCapacity:    4,
+		WindowStep:     10 * sim.Second,
+		WindowCapacity: 4,
+		CoarseStep:     sim.Minute,
+		CoarseCapacity: 16,
+	})
+	// 180 points, 1/s, over 3 minutes. Raw keeps 4 points; the window
+	// tier keeps 4 sealed 10s buckets; coarse keeps 1m buckets.
+	for i := 0; i < 180; i++ {
+		db.Append("s", sim.Time(i)*sim.Second, float64(i))
+	}
+	pts := db.Range("s", 0, 179*sim.Second)
+	if len(pts) == 0 {
+		t.Fatal("empty range")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("not time-ordered: %v", pts)
+		}
+	}
+	// The head of the scan must come from coarse buckets (minute means).
+	if pts[0].T != 0 || math.Abs(pts[0].V-29.5) > 1e-9 { // mean of 0..59
+		t.Fatalf("head point = %+v, want coarse mean 29.5", pts[0])
+	}
+	// The tail must be verbatim raw.
+	last := pts[len(pts)-1]
+	if last.T != 179*sim.Second || last.V != 179 {
+		t.Fatalf("tail point = %+v", last)
+	}
+	// No span is double-counted: values must be non-decreasing for this
+	// monotone input.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V < pts[i-1].V {
+			t.Fatalf("tier seam double-counts or reorders: %v", pts)
+		}
+	}
+}
+
+// Quantile over raw spans is exact; over downsampled spans it keeps the
+// bucket extremes so tails stay honest.
+func TestQuantile(t *testing.T) {
+	db := Open(Config{RawCapacity: 128, WindowStep: 10 * sim.Second})
+	for i := 0; i < 100; i++ {
+		db.Append("s", sim.Time(i)*sim.Second, float64(i))
+	}
+	q, ok := db.Quantile("s", 0, 99*sim.Second, 0.5)
+	if !ok || math.Abs(q-49.5) > 1 {
+		t.Fatalf("raw p50 = %v %v", q, ok)
+	}
+	if q, _ := db.Quantile("s", 0, 99*sim.Second, 1); q != 99 {
+		t.Fatalf("raw max = %v", q)
+	}
+
+	// Evicted series: quantile answers from buckets, preserving extremes.
+	db2 := Open(tiny()) // raw 8
+	for i := 0; i < 100; i++ {
+		db2.Append("s", sim.Time(i)*sim.Second, float64(i))
+	}
+	qmax, ok := db2.Quantile("s", 0, 99*sim.Second, 1)
+	if !ok || qmax != 99 {
+		t.Fatalf("bucketed max = %v %v", qmax, ok)
+	}
+	qmin, _ := db2.Quantile("s", 0, 99*sim.Second, 0)
+	if qmin != 0 {
+		t.Fatalf("bucketed min = %v (bucket minima lost)", qmin)
+	}
+	qmed, _ := db2.Quantile("s", 0, 99*sim.Second, 0.5)
+	if qmed < 30 || qmed > 70 {
+		t.Fatalf("bucketed p50 = %v, want ≈49.5", qmed)
+	}
+
+	if _, ok := db.Quantile("s", 1000*sim.Second, 2000*sim.Second, 0.5); ok {
+		t.Fatal("quantile over an empty span reported ok")
+	}
+}
+
+// Memory is O(retention): ring capacities bound retained points no matter
+// how much is appended.
+func TestBoundedMemory(t *testing.T) {
+	cfg := tiny()
+	db := Open(cfg)
+	for i := 0; i < 100000; i++ {
+		db.Append("s", sim.Time(i)*sim.Second, float64(i))
+	}
+	st := db.Stats()
+	if st.Appended != 100000 {
+		t.Fatalf("appended %d", st.Appended)
+	}
+	if st.RawPoints > cfg.RawCapacity || st.WindowBuckets > cfg.WindowCapacity || st.CoarseBuckets > cfg.CoarseCapacity {
+		t.Fatalf("retention exceeded capacity: %+v", st)
+	}
+	if st.WindowEvicted == 0 || st.CoarseEvicted == 0 {
+		t.Fatalf("expected evictions at every tier: %+v", st)
+	}
+}
+
+// Bucket sealing handles gaps: a point far past the open bucket seals it
+// and opens an aligned one, with no phantom empty buckets between.
+func TestGapsSealCleanly(t *testing.T) {
+	db := Open(tiny())
+	db.Append("s", 1*sim.Second, 10)
+	db.Append("s", 95*sim.Second, 20) // skips 8 whole 10s buckets
+	db.Append("s", 96*sim.Second, 30)
+	st := db.Stats()
+	if st.WindowBuckets != 1 {
+		t.Fatalf("sealed buckets %d, want 1 (no phantom empties)", st.WindowBuckets)
+	}
+	pts := db.Range("s", 0, 200*sim.Second)
+	if len(pts) != 3 {
+		t.Fatalf("range = %v", pts)
+	}
+}
+
+// The store is safe under concurrent appends and queries.
+func TestConcurrentAppendQuery(t *testing.T) {
+	db := Open(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"a", "b", "a", "b"}[w]
+			for i := 0; i < 2000; i++ {
+				db.Append(name, sim.Time(i)*sim.Second, float64(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				db.Range("a", 0, sim.Hour)
+				db.Quantile("b", 0, sim.Hour, 0.99)
+				db.Latest("a")
+				db.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -26,9 +26,11 @@ import (
 	"rpingmesh/internal/core"
 	"rpingmesh/internal/experiments"
 	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/pipeline"
 	"rpingmesh/internal/service"
 	"rpingmesh/internal/sim"
 	"rpingmesh/internal/topo"
+	"rpingmesh/internal/tsdb"
 	"rpingmesh/internal/watchdog"
 )
 
@@ -82,6 +84,38 @@ type (
 	Fault = faultgen.Fault
 	// Injector applies faults to a cluster.
 	Injector = faultgen.Injector
+)
+
+// Telemetry ingest tier (the Kafka/Flink/DB slice of Fig 3). Every
+// cluster has one: Agents upload into Cluster.Ingest, the Analyzer
+// consumes from it and publishes per-window aggregates into Cluster.TSDB.
+type (
+	// Pipeline is the sharded, bounded ingest bus between Agents and the
+	// Analyzer.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig tunes partitions, queue capacity, and the overload
+	// policy (set it in Config.Pipeline).
+	PipelineConfig = pipeline.Config
+	// PipelineStats is the pipeline's self-metrics snapshot.
+	PipelineStats = pipeline.Stats
+	// OverloadPolicy selects what a full partition does: Block,
+	// DropOldest, or DropNewest.
+	OverloadPolicy = pipeline.Policy
+	// TSDB is the bounded multi-resolution time-series store holding
+	// per-window aggregates for historical queries.
+	TSDB = tsdb.DB
+	// TSDBConfig tunes the store's ring capacities and bucket steps (set
+	// it in Config.TSDB).
+	TSDBConfig = tsdb.Config
+	// Point is one (time, value) sample returned by TSDB queries.
+	Point = tsdb.Point
+)
+
+// Overload policies.
+const (
+	Block      = pipeline.Block
+	DropOldest = pipeline.DropOldest
+	DropNewest = pipeline.DropNewest
 )
 
 // Virtual time.
