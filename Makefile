@@ -13,10 +13,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages (ingest pipeline, tsdb, wire) get a
-# dedicated race pass with repetition; everything else runs once.
+# The concurrency-sensitive packages (analyzer worker pool, ingest
+# pipeline, tsdb, wire) get a dedicated race pass with repetition;
+# everything else runs once.
 race:
-	$(GO) test -race -count=2 ./internal/pipeline ./internal/tsdb ./internal/wire
+	$(GO) test -race -count=2 ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire
 	$(GO) test -race ./...
 
 bench:

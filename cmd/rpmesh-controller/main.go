@@ -6,10 +6,17 @@
 // sharded bounded pipeline into an aggregator that publishes per-interval
 // RTT and ingest metrics into a bounded tsdb.
 //
+// Behind the ingest tier runs the full Analyzer on its attribution
+// pipeline: every -analyzer-window it classifies the window's probes,
+// detects anomalous RNICs, votes on switch links, and aggregates SLAs,
+// sharding the data-parallel stages across -workers goroutines (the
+// multicore win the deterministic simulations deliberately forgo).
+//
 // Usage:
 //
 //	rpmesh-controller [-listen 127.0.0.1:7201] [-partitions 4 -capacity 256 -policy block]
 //	                  [-pods 2 -tors 2 -aggs 2 -spines 4 -hosts 2 -rnics 2]
+//	                  [-workers N -analyzer-window 20s]
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
 
+	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/controller"
 	"rpingmesh/internal/metrics"
 	"rpingmesh/internal/pipeline"
@@ -83,6 +92,16 @@ func (a *aggregator) publish(t sim.Time) string {
 		batches, results, timeouts, s)
 }
 
+// analyzerTier adapts wall-clock TCP ingest to the Analyzer: each batch
+// is re-stamped with its receive time so host-down classification runs
+// on the daemon's clock axis even when agent clocks skew.
+type analyzerTier struct{ an *analyzer.Analyzer }
+
+func (t analyzerTier) Upload(b proto.UploadBatch) {
+	b.Sent = sim.Time(time.Now().UnixNano())
+	t.an.Upload(b)
+}
+
 func parsePolicy(s string) (pipeline.Policy, error) {
 	switch s {
 	case "block":
@@ -107,6 +126,8 @@ func main() {
 	capacity := flag.Int("capacity", 256, "per-partition queue capacity (batches)")
 	policy := flag.String("policy", "block", "overload policy: block, drop-oldest, drop-newest")
 	statsEvery := flag.Duration("stats", 10*time.Second, "self-metrics print interval")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analyzer shard workers per window (1 = serial)")
+	anWindow := flag.Duration("analyzer-window", 20*time.Second, "analyzer attribution window")
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
@@ -122,13 +143,24 @@ func main() {
 	}
 	ctrl := controller.New(sim.New(time.Now().UnixNano()), tp, controller.Config{})
 
+	// The full Analyzer rides its own engine, advanced to the wall clock
+	// before each window so Tick sees real time. TCP receivers feed it
+	// concurrently; the sharded stages use the worker pool.
+	aeng := sim.New(0)
+	aeng.RunUntil(sim.Time(time.Now().UnixNano()))
+	an := analyzer.New(aeng, tp, ctrl, analyzer.Config{
+		Window:  sim.Time(*anWindow),
+		Workers: *workers,
+	})
+
 	// The ingest tier: wire.Server → pipeline (concurrent mode, one
-	// consumer per partition) → aggregator → tsdb.
+	// consumer per partition) → {aggregator, Analyzer} → tsdb.
 	db := tsdb.Open(tsdb.Config{})
+	an.SetMetricSink(db)
 	agg := newAggregator(db)
 	pipe := pipeline.New(pipeline.Config{
 		Partitions: *partitions, Capacity: *capacity, Policy: pol,
-	}, agg)
+	}, agg, analyzerTier{an})
 	pipe.Start()
 	defer pipe.Stop()
 
@@ -137,15 +169,29 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
-	fmt.Printf("rpmesh-controller serving %s (%d RNICs across %d hosts; ingest: %d partitions × cap %d, policy %s)\n",
-		srv.Addr(), len(tp.RNICs), len(tp.Hosts), *partitions, *capacity, pol)
+	fmt.Printf("rpmesh-controller serving %s (%d RNICs across %d hosts; ingest: %d partitions × cap %d, policy %s; analyzer: %d workers, %s windows)\n",
+		srv.Addr(), len(tp.RNICs), len(tp.Hosts), *partitions, *capacity, pol, *workers, *anWindow)
 
 	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()
+	anTick := time.NewTicker(*anWindow)
+	defer anTick.Stop()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	for {
 		select {
+		case <-anTick.C:
+			// One goroutine (this loop) drives Tick; uploads keep landing
+			// concurrently from the pipeline consumers.
+			aeng.RunUntil(sim.Time(time.Now().UnixNano()))
+			rep := an.Tick()
+			fmt.Printf("analyzer: window=%d probes=%d drops[rnic=%.4f switch=%.4f] problems=%d suspicious_switches=%d\n",
+				rep.Index, rep.Cluster.Probes, rep.Cluster.RNICDropRate,
+				rep.Cluster.SwitchDropRate, len(rep.Problems), len(rep.SuspiciousSwitches))
+			for _, p := range rep.Problems {
+				fmt.Printf("  problem: %v %v dev=%s host=%s link=%d evidence=%d\n",
+					p.Kind, p.Priority, p.Device, p.Host, p.Link, p.Evidence)
+			}
 		case <-tick.C:
 			now := sim.Time(time.Now().UnixNano())
 			line := agg.publish(now)

@@ -4,7 +4,11 @@
 // the cluster and the service network, and assesses each problem's impact
 // on the service (P0/P1/P2 or "the network is innocent").
 //
-// Attribution order matters and is the paper's:
+// The attribution cascade is an explicit staged pipeline: each window is
+// a WindowState threaded through an ordered []Stage (see state.go for
+// the stage list and its ordering contract). Attribution order is data —
+// extensions like the watchdog's decision tree append or insert stages
+// instead of editing the core. The paper's order:
 //
 //  1. Timeouts toward hosts that stopped uploading → host down (not a
 //     network problem).
@@ -17,11 +21,17 @@
 //     are quarantined from switch localization for 60 s.
 //  5. Everything left → switch network problems → Algorithm 1 voting over
 //     probe + ACK paths.
+//
+// With Config.Workers > 1 the data-parallel stages (ToR-mesh RNIC
+// statistics, Algorithm 1 vote counting, SLA aggregation) shard across a
+// worker pool and merge deterministically, so the report stream is
+// bit-identical to the serial pass — the golden equivalence test pins
+// this down.
 package analyzer
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"rpingmesh/internal/metrics"
 	"rpingmesh/internal/proto"
@@ -104,7 +114,7 @@ type Problem struct {
 	// Links holds every link tied at the top vote count (Algorithm 1
 	// returns "abnormal links with the largest abnormal_cnt" — a set;
 	// plane-symmetric CLOS segments are genuinely indistinguishable to
-	// binary tomography).
+	// binary tomography). Sorted by link ID.
 	Links []topo.LinkID
 	// FromServiceTracing reports which function detected it.
 	FromServiceTracing bool
@@ -143,7 +153,8 @@ type WindowReport struct {
 	PerToR map[topo.DeviceID]SLA
 
 	// SuspiciousSwitches is footnote 5's variant of Algorithm 1: the
-	// most-voted switches across this window's anomalous paths.
+	// most-voted switches across this window's anomalous paths, sorted by
+	// switch ID.
 	SuspiciousSwitches []SwitchVote
 
 	HostDownTimeouts int
@@ -212,6 +223,13 @@ type Config struct {
 	// Problems(), SeriesOf and Reports() cover the retained horizon; the
 	// full history lives in the tsdb the Analyzer publishes into.
 	RetainWindows int
+	// Workers shards the data-parallel stages (ToR-mesh RNIC statistics,
+	// Algorithm 1 vote counting, SLA aggregation) across this many
+	// goroutines per window. 0 or 1 analyzes serially. Shard merges are
+	// deterministic, so the report stream is bit-identical for any value
+	// — seeded simulations keep the default while the live deployment
+	// (cmd/rpmesh-controller) sets it to the core count.
+	Workers int
 }
 
 func (c *Config) setDefaults() {
@@ -248,18 +266,29 @@ func (c *Config) setDefaults() {
 }
 
 // Analyzer consumes Agent uploads and produces WindowReports.
+//
+// Concurrency: Upload, ObserveServicePerf and the read accessors are safe
+// to call concurrently with Tick (the live deployment's TCP receivers do
+// exactly that). Tick itself must not be called concurrently with Tick —
+// one analysis goroutine drives the windows.
 type Analyzer struct {
 	eng  *sim.Engine
 	tp   *topo.Topology
 	cfg  Config
 	qpns QPNSource
 
+	// mu guards the fields fed from other goroutines (pending,
+	// lastUpload, perfSamples, perfBaseline) and the published history
+	// (windows, ticks). Tick snapshots the inputs under mu, analyzes
+	// without it, then appends the report under mu.
+	mu sync.Mutex
+
 	pending []proto.ProbeResult
 
 	lastUpload map[topo.HostID]sim.Time
 	quarantine map[topo.DeviceID]sim.Time // RNIC -> quarantined-until
 
-	// Service-network membership with expiry (§4.3.4).
+	// Service-network membership with expiry (§4.3.4). Tick-only.
 	serviceLinks map[topo.LinkID]sim.Time
 	serviceHosts map[topo.HostID]sim.Time
 
@@ -267,8 +296,16 @@ type Analyzer struct {
 	perfSamples  []float64
 	perfBaseline float64
 
-	// Baseline learned from calm history.
+	// Baseline learned from calm history. Tick-only.
 	rttBaselineP99 float64
+
+	// stages is the attribution pipeline Tick threads each window
+	// through; defaultStages() unless extended.
+	stages []Stage
+
+	// accPool holds the per-group SLA scratch accumulators reused across
+	// windows (keyed "cluster", "service", "tor:<id>"). Tick-only.
+	accPool map[string]*slaAcc
 
 	windows []WindowReport
 	// ticks counts every analysis window ever run; with bounded
@@ -290,7 +327,7 @@ type Analyzer struct {
 // New builds an Analyzer.
 func New(eng *sim.Engine, tp *topo.Topology, qpns QPNSource, cfg Config) *Analyzer {
 	cfg.setDefaults()
-	return &Analyzer{
+	a := &Analyzer{
 		eng:          eng,
 		tp:           tp,
 		cfg:          cfg,
@@ -299,7 +336,10 @@ func New(eng *sim.Engine, tp *topo.Topology, qpns QPNSource, cfg Config) *Analyz
 		quarantine:   make(map[topo.DeviceID]sim.Time),
 		serviceLinks: make(map[topo.LinkID]sim.Time),
 		serviceHosts: make(map[topo.HostID]sim.Time),
+		accPool:      make(map[string]*slaAcc),
 	}
+	a.stages = a.defaultStages()
+	return a
 }
 
 // Window returns the configured analysis period.
@@ -307,17 +347,21 @@ func (a *Analyzer) Window() sim.Time { return a.cfg.Window }
 
 // Upload implements proto.UploadSink.
 func (a *Analyzer) Upload(batch proto.UploadBatch) {
+	a.mu.Lock()
 	a.lastUpload[batch.Host] = batch.Sent
 	a.pending = append(a.pending, batch.Results...)
+	a.mu.Unlock()
 }
 
 // ObserveServicePerf feeds the service performance metric (e.g. training
 // throughput) the impact assessment compares against its baseline.
 func (a *Analyzer) ObserveServicePerf(v float64) {
+	a.mu.Lock()
 	a.perfSamples = append(a.perfSamples, v)
 	if v > a.perfBaseline {
 		a.perfBaseline = v
 	}
+	a.mu.Unlock()
 }
 
 // SetMetricSink directs the Analyzer to publish each window's aggregates
@@ -325,26 +369,48 @@ func (a *Analyzer) ObserveServicePerf(v float64) {
 func (a *Analyzer) SetMetricSink(s MetricSink) { a.sink = s }
 
 // Reports returns the retained window reports (the most recent
-// Config.RetainWindows of them).
-func (a *Analyzer) Reports() []WindowReport { return a.windows }
+// Config.RetainWindows of them). The returned slice is the caller's; the
+// reports inside share their Problems/PerToR storage with the history.
+func (a *Analyzer) Reports() []WindowReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]WindowReport, len(a.windows))
+	copy(out, a.windows)
+	return out
+}
 
 // TotalWindows reports how many analysis windows have ever run, retained
 // or not.
-func (a *Analyzer) TotalWindows() int { return a.ticks }
+func (a *Analyzer) TotalWindows() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ticks
+}
 
 // LastReport returns the most recent window report.
 func (a *Analyzer) LastReport() (WindowReport, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if len(a.windows) == 0 {
 		return WindowReport{}, false
 	}
 	return a.windows[len(a.windows)-1], true
 }
 
-// Problems returns every problem reported across all windows.
+// Problems returns every problem reported across the retained windows.
+// The result is a defensive deep copy — mutating it (or its Links
+// slices) cannot corrupt the report history.
 func (a *Analyzer) Problems() []Problem {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out []Problem
 	for _, w := range a.windows {
-		out = append(out, w.Problems...)
+		for _, p := range w.Problems {
+			if len(p.Links) > 0 {
+				p.Links = append([]topo.LinkID(nil), p.Links...)
+			}
+			out = append(out, p)
+		}
 	}
 	return out
 }
@@ -353,6 +419,8 @@ func (a *Analyzer) Problems() []Problem {
 // the SLA dashboards of Fig 5 are exactly such projections (e.g.
 // func(w) float64 { return w.Service.RTT.P50 }).
 func (a *Analyzer) SeriesOf(name, unit string, f func(WindowReport) float64) *metrics.Series {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	s := &metrics.Series{Name: name, Unit: unit}
 	for _, w := range a.windows {
 		s.Append(w.End.Seconds(), f(w))
@@ -361,18 +429,32 @@ func (a *Analyzer) SeriesOf(name, unit string, f func(WindowReport) float64) *me
 }
 
 // Tick runs one analysis window over everything uploaded since the last
-// Tick. The experiment harness schedules it every cfg.Window.
+// Tick. The experiment harness schedules it every cfg.Window; the live
+// deployment's analysis loop calls it from a single goroutine.
 func (a *Analyzer) Tick() WindowReport {
 	now := a.eng.Now()
+
+	// Snapshot the concurrently-fed inputs; everything after this runs
+	// without the lock.
+	a.mu.Lock()
 	results := a.pending
 	a.pending = nil
+	perfSamples := a.perfSamples
+	a.perfSamples = nil
+	perfBaseline := a.perfBaseline
+	lastUpload := make(map[topo.HostID]sim.Time, len(a.lastUpload))
+	for h, t := range a.lastUpload {
+		lastUpload[h] = t
+	}
+	tick := a.ticks
+	a.ticks++
+	a.mu.Unlock()
 
 	rep := WindowReport{
-		Index: a.ticks,
+		Index: tick,
 		Start: now - a.cfg.Window,
 		End:   now,
 	}
-	a.ticks++
 
 	// Refresh service-network membership from this window's
 	// service-tracing probes, then expire stale entries.
@@ -402,31 +484,34 @@ func (a *Analyzer) Tick() WindowReport {
 	}
 
 	// Performance metric for this window.
-	if len(a.perfSamples) > 0 {
+	if len(perfSamples) > 0 {
 		sum := 0.0
-		for _, v := range a.perfSamples {
+		for _, v := range perfSamples {
 			sum += v
 		}
-		rep.ServicePerf = sum / float64(len(a.perfSamples))
-		a.perfSamples = nil
-		if a.perfBaseline > 0 && rep.ServicePerf < (1-a.cfg.DegradeFrac)*a.perfBaseline {
+		rep.ServicePerf = sum / float64(len(perfSamples))
+		if perfBaseline > 0 && rep.ServicePerf < (1-a.cfg.DegradeFrac)*perfBaseline {
 			rep.PerfDegraded = true
 		}
 	}
 
-	cls := a.classify(now, results, &rep)
-	a.detectRNICProblems(now, results, cls, &rep)
-	a.filterCPUNoise(results, cls, &rep)
-	a.localizeSwitchProblems(results, cls, &rep)
-	a.aggregateSLAs(results, cls, &rep)
-	a.detectBottlenecks(results, &rep)
-	a.assessImpact(&rep)
+	st := &WindowState{
+		Now:        now,
+		Results:    results,
+		LastUpload: lastUpload,
+		Report:     &rep,
+	}
+	for _, s := range a.stages {
+		s.Run(st)
+	}
 
+	a.mu.Lock()
 	a.windows = append(a.windows, rep)
 	if len(a.windows) > a.cfg.RetainWindows {
 		shed := len(a.windows) - a.cfg.RetainWindows
 		a.windows = append(a.windows[:0], a.windows[shed:]...)
 	}
+	a.mu.Unlock()
 	a.publish(&rep)
 	return rep
 }
@@ -458,574 +543,4 @@ func (a *Analyzer) publish(rep *WindowReport) {
 	put("noise.qpn_reset", float64(rep.QPNResetTimeouts))
 	put("noise.cpu", float64(rep.CPUNoiseTimeouts))
 	put("problems.count", float64(len(rep.Problems)))
-}
-
-// cause is the per-result attribution.
-type cause int
-
-const (
-	causeOK cause = iota
-	causeHostDown
-	causeQPNReset
-	causeCPUNoise
-	causeRNIC
-	causeSwitch
-)
-
-// classify performs steps 1–2 (host down, QPN reset) and returns the
-// per-result attribution slice (parallel to results).
-func (a *Analyzer) classify(now sim.Time, results []proto.ProbeResult, rep *WindowReport) []cause {
-	cls := make([]cause, len(results))
-	for i := range results {
-		r := &results[i]
-		if !r.Timeout {
-			continue
-		}
-		last, seen := a.lastUpload[r.DstHost]
-		if !seen || now-last > a.cfg.Window {
-			cls[i] = causeHostDown
-			rep.HostDownTimeouts++
-			continue
-		}
-		if qpn, ok := a.qpns.CurrentQPN(r.DstDev); ok && qpn != r.DstQPN {
-			cls[i] = causeQPNReset
-			rep.QPNResetTimeouts++
-			continue
-		}
-		cls[i] = causeSwitch // provisional; refined below
-	}
-	return cls
-}
-
-// detectRNICProblems runs the ToR-mesh analysis (§4.3.2): an RNIC with
-// more than RNICTimeoutFrac of its inbound ToR-mesh probes timing out is
-// anomalous; every remaining timeout touching it (either side) is
-// re-attributed to the RNIC and quarantined from switch localization.
-//
-// Detection is iterative with source exclusion: the worst offender is
-// detected first and every probe involving it is withdrawn before other
-// RNICs are judged. Otherwise a single down RNIC, whose own outbound
-// ToR-mesh probes all time out, would push every ToR neighbour over the
-// 10 % threshold ("introduce minimal uncertainty", §4.3.2).
-func (a *Analyzer) detectRNICProblems(now sim.Time, results []proto.ProbeResult, cls []cause, rep *WindowReport) {
-	type stat struct{ total, timeout int }
-	excluded := make(map[topo.DeviceID]bool)
-	detected := make(map[topo.DeviceID]int) // dev -> timeout evidence
-
-	for !a.DisableRNICDetection {
-		stats := make(map[topo.DeviceID]*stat)
-		for i := range results {
-			r := &results[i]
-			if r.Kind != proto.ToRMesh {
-				continue
-			}
-			if cls[i] == causeHostDown || cls[i] == causeQPNReset {
-				continue
-			}
-			if excluded[r.SrcDev] || excluded[r.DstDev] {
-				continue
-			}
-			s, ok := stats[r.DstDev]
-			if !ok {
-				s = &stat{}
-				stats[r.DstDev] = s
-			}
-			s.total++
-			if r.Timeout {
-				s.timeout++
-			}
-		}
-		// Pick the single worst offender above the threshold
-		// (deterministically: lowest device ID wins ties).
-		candidates := make([]topo.DeviceID, 0, len(stats))
-		for dev := range stats {
-			candidates = append(candidates, dev)
-		}
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-		var worst topo.DeviceID
-		worstFrac := a.cfg.RNICTimeoutFrac
-		worstEvidence := 0
-		for _, dev := range candidates {
-			s := stats[dev]
-			if s.total == 0 {
-				continue
-			}
-			if frac := float64(s.timeout) / float64(s.total); frac > worstFrac {
-				worst = dev
-				worstFrac = frac
-				worstEvidence = s.timeout
-			}
-		}
-		if worst == "" {
-			break
-		}
-		excluded[worst] = true
-		detected[worst] = worstEvidence
-	}
-
-	devs := make([]topo.DeviceID, 0, len(detected))
-	for dev := range detected {
-		devs = append(devs, dev)
-	}
-	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
-	for _, dev := range devs {
-		a.quarantine[dev] = now + a.cfg.RNICQuarantine
-		rep.Problems = append(rep.Problems, Problem{
-			Kind:     ProblemRNIC,
-			Device:   dev,
-			Host:     a.devHost(dev),
-			Evidence: detected[dev],
-			Window:   rep.Index,
-		})
-	}
-
-	// Re-attribute timeouts touching quarantined RNICs.
-	for i := range results {
-		if cls[i] != causeSwitch {
-			continue
-		}
-		r := &results[i]
-		if a.isQuarantined(now, r.SrcDev) || a.isQuarantined(now, r.DstDev) {
-			cls[i] = causeRNIC
-		}
-	}
-
-	// Host-down problems (deduplicated per window).
-	downHosts := make(map[topo.HostID]bool)
-	for i := range results {
-		if cls[i] == causeHostDown && !downHosts[results[i].DstHost] {
-			downHosts[results[i].DstHost] = true
-		}
-	}
-	hosts := make([]topo.HostID, 0, len(downHosts))
-	for h := range downHosts {
-		hosts = append(hosts, h)
-	}
-	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
-	for _, h := range hosts {
-		rep.Problems = append(rep.Problems, Problem{
-			Kind:   ProblemHostDown,
-			Host:   h,
-			Window: rep.Index,
-		})
-	}
-}
-
-// filterCPUNoise is the post-deployment refinement of §6: probes to
-// several RNICs of one host transiently "dropping" at the same time, or a
-// host answering with abnormally high responder delay, indicate the
-// service occupying the Agent's CPU — not RNIC failures. Matching
-// ProblemRNIC reports are withdrawn and their timeouts reclassified.
-func (a *Analyzer) filterCPUNoise(results []proto.ProbeResult, cls []cause, rep *WindowReport) {
-	if a.DisableCPUNoiseFilter {
-		return
-	}
-	// Signature B inputs: per-host responder delay vs cluster median.
-	delayByHost := make(map[topo.HostID]*metrics.Distribution)
-	all := metrics.NewDistribution()
-	for i := range results {
-		r := &results[i]
-		if r.Timeout {
-			continue
-		}
-		d, ok := delayByHost[r.DstHost]
-		if !ok {
-			d = metrics.NewDistribution()
-			delayByHost[r.DstHost] = d
-		}
-		d.Add(float64(r.ResponderDelay))
-		all.Add(float64(r.ResponderDelay))
-	}
-	clusterMedian := all.P50()
-
-	// Signature A: count this window's detected-anomalous RNICs per host.
-	byHost := make(map[topo.HostID][]int) // host -> indices into rep.Problems
-	for i := range rep.Problems {
-		if rep.Problems[i].Kind == ProblemRNIC {
-			byHost[rep.Problems[i].Host] = append(byHost[rep.Problems[i].Host], i)
-		}
-	}
-	noisy := make(map[topo.HostID]bool)
-	for host, idxs := range byHost {
-		multiRNIC := len(idxs) >= a.cfg.MinCPUNoiseRNICs
-		highDelay := false
-		if d, ok := delayByHost[host]; ok && clusterMedian > 0 && d.Count() > 0 {
-			highDelay = d.P50() > a.cfg.HighDelayFactor*clusterMedian
-		}
-		if multiRNIC || highDelay {
-			noisy[host] = true
-		}
-	}
-	if len(noisy) == 0 {
-		return
-	}
-	// Withdraw the problems, lift the quarantine, reclassify timeouts.
-	kept := rep.Problems[:0]
-	for _, p := range rep.Problems {
-		if p.Kind == ProblemRNIC && noisy[p.Host] {
-			delete(a.quarantine, p.Device)
-			continue
-		}
-		kept = append(kept, p)
-	}
-	rep.Problems = kept
-	for i := range results {
-		if cls[i] != causeRNIC && cls[i] != causeSwitch {
-			continue
-		}
-		r := &results[i]
-		if noisy[r.DstHost] {
-			cls[i] = causeCPUNoise
-			rep.CPUNoiseTimeouts++
-		}
-	}
-}
-
-func (a *Analyzer) isQuarantined(now sim.Time, dev topo.DeviceID) bool {
-	until, ok := a.quarantine[dev]
-	return ok && now <= until
-}
-
-func (a *Analyzer) devHost(dev topo.DeviceID) topo.HostID {
-	if r, ok := a.tp.RNICs[dev]; ok {
-		return r.Host
-	}
-	return ""
-}
-
-// localizeSwitchProblems runs Algorithm 1 over the remaining anomalous
-// probes' paths — Cluster Monitoring and Service Tracing analyzed
-// separately (§4.3.3).
-func (a *Analyzer) localizeSwitchProblems(results []proto.ProbeResult, cls []cause, rep *WindowReport) {
-	var clusterPaths, servicePaths [][]topo.LinkID
-	clusterN, serviceN := 0, 0
-	for i := range results {
-		if cls[i] != causeSwitch {
-			continue
-		}
-		r := &results[i]
-		path := append(append([]topo.LinkID{}, r.ProbePath...), r.AckPath...)
-		if len(path) == 0 {
-			continue
-		}
-		if r.Kind == proto.ServiceTracing {
-			servicePaths = append(servicePaths, path)
-			serviceN++
-		} else {
-			clusterPaths = append(clusterPaths, path)
-			clusterN++
-		}
-	}
-	emit := func(paths [][]topo.LinkID, n int, fromService bool) {
-		if n < a.cfg.MinSwitchEvidence {
-			return
-		}
-		votes := DetectAbnormalLinks(paths)
-		if len(votes) == 0 {
-			return
-		}
-		links := make([]topo.LinkID, len(votes))
-		for i, lv := range votes {
-			links[i] = lv.Link
-		}
-		// Footnote 4: if the suspicion concentrates on one RNIC's host
-		// cable, this is an RNIC problem (RNIC / its cable / the ToR port
-		// it plugs into are indistinguishable to probing).
-		if dev, ok := a.soleHostCableDevice(links); ok {
-			rep.Problems = append(rep.Problems, Problem{
-				Kind:               ProblemRNIC,
-				Device:             dev,
-				Host:               a.devHost(dev),
-				Evidence:           votes[0].Votes,
-				FromServiceTracing: fromService,
-				Window:             rep.Index,
-			})
-			return
-		}
-		rep.Problems = append(rep.Problems, Problem{
-			Kind:               ProblemSwitchLink,
-			Link:               links[0],
-			Links:              links,
-			Evidence:           votes[0].Votes,
-			FromServiceTracing: fromService,
-			Window:             rep.Index,
-		})
-	}
-	emit(clusterPaths, clusterN, false)
-	emit(servicePaths, serviceN, true)
-
-	// Footnote 5: the switch-level vote over all anomalous paths.
-	if clusterN+serviceN >= a.cfg.MinSwitchEvidence {
-		all := append(append([][]topo.LinkID{}, clusterPaths...), servicePaths...)
-		rep.SuspiciousSwitches = DetectAbnormalSwitches(a.tp, all)
-	}
-}
-
-// soleHostCableDevice reports the single RNIC whose host cable accounts
-// for every candidate link, if any.
-func (a *Analyzer) soleHostCableDevice(links []topo.LinkID) (topo.DeviceID, bool) {
-	var dev topo.DeviceID
-	for _, l := range links {
-		if int(l) < 0 || int(l) >= len(a.tp.Links) {
-			return "", false
-		}
-		link := a.tp.Links[l]
-		var end topo.DeviceID
-		if _, ok := a.tp.RNICs[link.From]; ok {
-			end = link.From
-		} else if _, ok := a.tp.RNICs[link.To]; ok {
-			end = link.To
-		} else {
-			return "", false
-		}
-		if dev == "" {
-			dev = end
-		} else if dev != end {
-			return "", false
-		}
-	}
-	return dev, dev != ""
-}
-
-// aggregateSLAs fills the per-window cluster and service SLAs (§5).
-func (a *Analyzer) aggregateSLAs(results []proto.ProbeResult, cls []cause, rep *WindowReport) {
-	type acc struct {
-		rtt, respd, probd *metrics.Distribution
-		sla               *SLA
-	}
-	newAcc := func(s *SLA) acc {
-		return acc{rtt: metrics.NewDistribution(), respd: metrics.NewDistribution(), probd: metrics.NewDistribution(), sla: s}
-	}
-	cluster := newAcc(&rep.Cluster)
-	service := newAcc(&rep.Service)
-	perToR := make(map[topo.DeviceID]acc)
-	fill := func(g acc, r *proto.ProbeResult, c cause) {
-		g.sla.Probes++
-		if r.Timeout {
-			switch c {
-			case causeRNIC:
-				g.sla.RNICDrops++
-			case causeSwitch:
-				g.sla.SwitchDrops++
-			default:
-				g.sla.NoiseDrops++
-			}
-			return
-		}
-		g.rtt.Add(float64(r.NetworkRTT))
-		if !r.OneWay {
-			// One-way probes exchange no ACKs, so they carry no
-			// processing-delay decomposition.
-			g.respd.Add(float64(r.ResponderDelay))
-			g.probd.Add(float64(r.ProberDelay))
-		}
-	}
-	for i := range results {
-		r := &results[i]
-		if r.Kind == proto.ServiceTracing {
-			fill(service, r, cls[i])
-			continue
-		}
-		fill(cluster, r, cls[i])
-		// Hierarchical (per-destination-ToR) aggregation, Cluster
-		// Monitoring only (§7.4).
-		if dst, ok := a.tp.RNICs[r.DstDev]; ok {
-			g, ok := perToR[dst.ToR]
-			if !ok {
-				g = newAcc(&SLA{})
-				perToR[dst.ToR] = g
-			}
-			fill(g, r, cls[i])
-		}
-	}
-	finish := func(g acc) {
-		if g.sla.Probes > 0 {
-			g.sla.RNICDropRate = float64(g.sla.RNICDrops) / float64(g.sla.Probes)
-			g.sla.SwitchDropRate = float64(g.sla.SwitchDrops) / float64(g.sla.Probes)
-		}
-		g.sla.RTT = g.rtt.Summarize()
-		g.sla.ResponderDelay = g.respd.Summarize()
-		g.sla.ProberDelay = g.probd.Summarize()
-	}
-	finish(cluster)
-	finish(service)
-	rep.PerToR = make(map[topo.DeviceID]SLA, len(perToR))
-	for tor, g := range perToR {
-		finish(g)
-		rep.PerToR[tor] = *g.sla
-	}
-}
-
-// detectBottlenecks flags performance bottlenecks from the latency SLAs
-// (§2.3, Fig 8): per-host end-host processing delay (CPU overload, #12)
-// and per-RNIC network RTT inflation (PFC storms from intra-host
-// bottlenecks #13/#14, congested links #10/#11), plus the service-level
-// tail-RTT signal used in Fig 8 (right).
-func (a *Analyzer) detectBottlenecks(results []proto.ProbeResult, rep *WindowReport) {
-	const minSamples = 20
-	delayByHost := make(map[topo.HostID]*metrics.Distribution)
-	rttByDev := make(map[topo.DeviceID]*metrics.Distribution)
-	for i := range results {
-		r := &results[i]
-		if r.Timeout {
-			continue
-		}
-		d, ok := delayByHost[r.DstHost]
-		if !ok {
-			d = metrics.NewDistribution()
-			delayByHost[r.DstHost] = d
-		}
-		d.Add(float64(r.ResponderDelay))
-		rd, ok := rttByDev[r.DstDev]
-		if !ok {
-			rd = metrics.NewDistribution()
-			rttByDev[r.DstDev] = rd
-		}
-		rd.Add(float64(r.NetworkRTT))
-	}
-
-	// Per-host CPU overload: window P50 far above the cluster median.
-	if med := rep.Cluster.ResponderDelay.P50; med > 0 {
-		hosts := make([]topo.HostID, 0, len(delayByHost))
-		for h := range delayByHost {
-			hosts = append(hosts, h)
-		}
-		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
-		for _, h := range hosts {
-			d := delayByHost[h]
-			if d.Count() >= minSamples && d.P50() > a.cfg.HighDelayFactor*med {
-				rep.Problems = append(rep.Problems, Problem{
-					Kind:     ProblemHighProcDelay,
-					Host:     h,
-					Evidence: int(d.Count()),
-					Window:   rep.Index,
-				})
-			}
-		}
-	}
-
-	// Per-RNIC RTT inflation: everything toward one RNIC is slow (PFC
-	// storm on its downlink) — Fig 8 right's ToR-mesh signal.
-	if med := rep.Cluster.RTT.P50; med > 0 {
-		devs := make([]topo.DeviceID, 0, len(rttByDev))
-		for dev := range rttByDev {
-			devs = append(devs, dev)
-		}
-		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
-		for _, dev := range devs {
-			d := rttByDev[dev]
-			if d.Count() >= minSamples && d.P50() > a.cfg.HighRTTFactor*med {
-				rep.Problems = append(rep.Problems, Problem{
-					Kind:     ProblemHighRTT,
-					Device:   dev,
-					Host:     a.devHost(dev),
-					Evidence: int(d.Count()),
-					Window:   rep.Index,
-				})
-			}
-		}
-	}
-
-	// Service-level congestion: tail RTT of the service network far above
-	// its own learned baseline.
-	if a.rttBaselineP99 > 0 && rep.Service.RTT.Count >= minSamples &&
-		rep.Service.RTT.P99 > a.cfg.HighRTTFactor*a.rttBaselineP99 {
-		rep.Problems = append(rep.Problems, Problem{
-			Kind:               ProblemHighRTT,
-			FromServiceTracing: true,
-			Window:             rep.Index,
-		})
-	}
-	if rep.Service.RTT.Count > 0 {
-		p99 := rep.Service.RTT.P99
-		if a.rttBaselineP99 == 0 {
-			a.rttBaselineP99 = p99
-		} else if p99 < a.cfg.HighRTTFactor*a.rttBaselineP99 {
-			a.rttBaselineP99 = 0.9*a.rttBaselineP99 + 0.1*p99
-		}
-	}
-}
-
-// assessImpact assigns P0/P1/P2 (§4.3.4) and decides network innocence.
-func (a *Analyzer) assessImpact(rep *WindowReport) {
-	hasP0orP1 := false
-	for i := range rep.Problems {
-		p := &rep.Problems[i]
-		inService := p.FromServiceTracing || a.inServiceNetwork(p)
-		switch {
-		case p.Kind == ProblemHostDown:
-			// Host down is not a network problem; priority by service
-			// membership for operator attention.
-			if _, ok := a.serviceHosts[p.Host]; ok {
-				p.Priority = P0
-			} else {
-				p.Priority = P2
-			}
-			continue
-		case !inService:
-			p.Priority = P2
-			continue
-		case rep.PerfDegraded:
-			p.Priority = P0
-		default:
-			p.Priority = P1
-		}
-		hasP0orP1 = true
-	}
-	if rep.PerfDegraded && !hasP0orP1 {
-		rep.NetworkInnocent = true
-	}
-}
-
-// inServiceNetwork reports whether a cluster-detected problem lies inside
-// the current service network (§4.3.4).
-func (a *Analyzer) inServiceNetwork(p *Problem) bool {
-	switch p.Kind {
-	case ProblemSwitchLink:
-		candidates := p.Links
-		if len(candidates) == 0 {
-			candidates = []topo.LinkID{p.Link}
-		}
-		for _, l := range candidates {
-			if _, ok := a.serviceLinks[l]; ok {
-				return true
-			}
-			if int(l) < 0 || int(l) >= len(a.tp.Links) {
-				continue
-			}
-			// Also check the reverse direction of the cable.
-			rev := a.tp.LinkBetween(a.tp.Links[l].To, a.tp.Links[l].From)
-			if _, ok := a.serviceLinks[rev]; ok {
-				return true
-			}
-		}
-		return false
-	case ProblemRNIC:
-		if _, ok := a.serviceHosts[p.Host]; ok {
-			return true
-		}
-		// The RNIC's host link may carry service traffic.
-		if r, ok := a.tp.RNICs[p.Device]; ok {
-			up := a.tp.LinkBetween(p.Device, r.ToR)
-			down := a.tp.LinkBetween(r.ToR, p.Device)
-			if _, ok := a.serviceLinks[up]; ok {
-				return true
-			}
-			if _, ok := a.serviceLinks[down]; ok {
-				return true
-			}
-		}
-		return false
-	case ProblemHighProcDelay, ProblemHighRTT:
-		if p.FromServiceTracing {
-			return true
-		}
-		if p.Host != "" {
-			_, ok := a.serviceHosts[p.Host]
-			return ok
-		}
-		return false
-	default:
-		return false
-	}
 }

@@ -26,7 +26,7 @@ type harness struct {
 	torA []topo.DeviceID
 }
 
-func newHarness(t *testing.T, cfg Config) *harness {
+func newHarness(t testing.TB, cfg Config) *harness {
 	t.Helper()
 	tp, err := topo.BuildClos(topo.ClosConfig{
 		Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2,

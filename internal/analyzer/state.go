@@ -1,0 +1,189 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// Cause is the per-result attribution a window's stages agree on. The
+// zero value (CauseOK) means the probe completed or was never anomalous.
+type Cause int
+
+const (
+	CauseOK Cause = iota
+	// CauseHostDown: timeout toward a host that stopped uploading.
+	CauseHostDown
+	// CauseQPNReset: timeout whose target QPN no longer matches the
+	// Controller registry (agent restarted — probe noise).
+	CauseQPNReset
+	// CauseCPUNoise: timeout explained by the service occupying the
+	// target Agent's CPU (§6 false-positive fix).
+	CauseCPUNoise
+	// CauseRNIC: timeout attributed to an anomalous RNIC.
+	CauseRNIC
+	// CauseSwitch: timeout left for switch localization.
+	CauseSwitch
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseOK:
+		return "ok"
+	case CauseHostDown:
+		return "host-down"
+	case CauseQPNReset:
+		return "qpn-reset"
+	case CauseCPUNoise:
+		return "cpu-noise"
+	case CauseRNIC:
+		return "rnic"
+	case CauseSwitch:
+		return "switch"
+	default:
+		return "unknown"
+	}
+}
+
+// WindowState is the unit of work one analysis window's stages share.
+// Now and Results are immutable inputs — stages must not modify Results
+// entries. Causes and Report accumulate: each stage reads what earlier
+// stages established and adds its own attribution or problems.
+type WindowState struct {
+	// Now is the instant the window closed.
+	Now sim.Time
+	// Results holds every probe result uploaded during the window.
+	Results []proto.ProbeResult
+	// LastUpload is the per-host last-upload instant snapshotted when the
+	// window closed (hostDownFilter's input).
+	LastUpload map[topo.HostID]sim.Time
+	// Causes is the per-result attribution, parallel to Results.
+	Causes []Cause
+	// Report is the window's accumulating outcome.
+	Report *WindowReport
+
+	// downHosts is the sorted set of hosts classified down this window.
+	// hostDownFilter fills it; rnicDetect emits the ProblemHostDown
+	// entries (after the RNIC problems, preserving the report order).
+	downHosts []topo.HostID
+}
+
+// Stage is one step of the Analyzer's attribution pipeline. The paper's
+// cascade is expressed as an ordered list of these values, so extensions
+// (the watchdog's decision tree, future INT-based localizers) slot in
+// with AppendStage / InsertStageAfter instead of editing the core.
+type Stage interface {
+	Name() string
+	Run(st *WindowState)
+}
+
+// Names of the built-in stages, in their pipeline order. The order is
+// the paper's attribution cascade (§4.3) with one implementation note:
+// cpuNoiseFilter runs after rnicDetect because it withdraws RNIC
+// problems the detector just reported (§6 describes the filter as a
+// post-deployment refinement of the RNIC analysis).
+const (
+	StageClassify         = "classify"
+	StageHostDownFilter   = "hostDownFilter"
+	StageQPNResetFilter   = "qpnResetFilter"
+	StageRNICDetect       = "rnicDetect"
+	StageCPUNoiseFilter   = "cpuNoiseFilter"
+	StageSwitchVote       = "switchVote"
+	StageSLAAggregate     = "slaAggregate"
+	StageBottleneckDetect = "bottleneckDetect"
+	StageImpactAssess     = "impactAssess"
+)
+
+// funcStage adapts a plain function to the Stage interface.
+type funcStage struct {
+	name string
+	fn   func(*WindowState)
+}
+
+func (s funcStage) Name() string        { return s.name }
+func (s funcStage) Run(st *WindowState) { s.fn(st) }
+
+// NewStage wraps a function as a named Stage.
+func NewStage(name string, fn func(*WindowState)) Stage {
+	return funcStage{name: name, fn: fn}
+}
+
+// defaultStages builds the paper's cascade over this Analyzer.
+func (a *Analyzer) defaultStages() []Stage {
+	return []Stage{
+		NewStage(StageClassify, a.stageClassify),
+		NewStage(StageHostDownFilter, a.stageHostDownFilter),
+		NewStage(StageQPNResetFilter, a.stageQPNResetFilter),
+		NewStage(StageRNICDetect, a.stageRNICDetect),
+		NewStage(StageCPUNoiseFilter, a.stageCPUNoiseFilter),
+		NewStage(StageSwitchVote, a.stageSwitchVote),
+		NewStage(StageSLAAggregate, a.stageSLAAggregate),
+		NewStage(StageBottleneckDetect, a.stageBottleneckDetect),
+		NewStage(StageImpactAssess, a.stageImpactAssess),
+	}
+}
+
+// Stages returns the pipeline's stage names in execution order.
+func (a *Analyzer) Stages() []string {
+	out := make([]string, len(a.stages))
+	for i, s := range a.stages {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// AppendStage adds a stage to the end of the pipeline (after
+// impactAssess and everything appended before it). Not safe to call
+// concurrently with Tick.
+func (a *Analyzer) AppendStage(s Stage) { a.stages = append(a.stages, s) }
+
+// InsertStageAfter inserts a stage immediately after the named one.
+func (a *Analyzer) InsertStageAfter(after string, s Stage) error {
+	for i, cur := range a.stages {
+		if cur.Name() == after {
+			a.stages = append(a.stages[:i+1], append([]Stage{s}, a.stages[i+1:]...)...)
+			return nil
+		}
+	}
+	return fmt.Errorf("analyzer: no stage named %q", after)
+}
+
+// workers reports the shard count for the parallelizable stages.
+func (a *Analyzer) workers() int {
+	if a.cfg.Workers > 1 {
+		return a.cfg.Workers
+	}
+	return 1
+}
+
+// runSharded fans fn out over n workers and waits for all of them. With
+// n <= 1 it calls fn(0) inline — the fully deterministic single-thread
+// path seeded simulations run on.
+func runSharded(n int, fn func(worker int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func sortedHosts(set map[topo.HostID]bool) []topo.HostID {
+	out := make([]topo.HostID, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

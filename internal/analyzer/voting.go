@@ -1,0 +1,230 @@
+package analyzer
+
+import (
+	"sort"
+
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/topo"
+)
+
+// Algorithm 1 of the paper: identify the most suspicious switch links by
+// voting. Derived from binary network tomography: traverse the paths of
+// anomalous probes (and of their ACKs), count how many anomalous paths
+// cross each link, and the links with the highest count are the most
+// suspicious.
+
+// LinkVote is one voting outcome.
+type LinkVote struct {
+	Link  topo.LinkID
+	Votes int
+}
+
+// SwitchVote is one switch-level voting outcome.
+type SwitchVote struct {
+	Switch topo.DeviceID
+	Votes  int
+}
+
+// DetectAbnormalLinks runs Algorithm 1 over the paths of anomalous probes
+// and returns every link sharing the highest vote count (ties are all
+// suspicious), sorted by link ID for determinism.
+func DetectAbnormalLinks(paths [][]topo.LinkID) []LinkVote {
+	return topVotes(countLinkVotes(paths, 1))
+}
+
+// countLinkVotes tallies Algorithm 1's per-link votes, sharded over
+// workers when asked. Shards take disjoint path subsets and the integer
+// votes merge commutatively, so the tally is identical to a serial count
+// for any worker count.
+func countLinkVotes(paths [][]topo.LinkID, workers int) map[topo.LinkID]int {
+	locals := make([]map[topo.LinkID]int, workers)
+	runSharded(workers, func(w int) {
+		m := make(map[topo.LinkID]int)
+		for i := w; i < len(paths); i += workers {
+			for _, link := range paths[i] {
+				m[link]++
+			}
+		}
+		locals[w] = m
+	})
+	merged := locals[0]
+	for _, m := range locals[1:] {
+		for l, v := range m {
+			merged[l] += v
+		}
+	}
+	return merged
+}
+
+// DetectAbnormalSwitches is the footnote-5 variant: replacing "link" with
+// "switch" localizes the device instead of the cable. Each path votes for
+// every switch it traverses (at most once per path).
+func DetectAbnormalSwitches(tp *topo.Topology, paths [][]topo.LinkID) []SwitchVote {
+	return topSwitchVotes(countSwitchVotes(tp, paths, 1))
+}
+
+// countSwitchVotes tallies footnote 5's per-switch votes (each path votes
+// once per switch), sharded like countLinkVotes.
+func countSwitchVotes(tp *topo.Topology, paths [][]topo.LinkID, workers int) map[topo.DeviceID]int {
+	locals := make([]map[topo.DeviceID]int, workers)
+	runSharded(workers, func(w int) {
+		m := make(map[topo.DeviceID]int)
+		for i := w; i < len(paths); i += workers {
+			seen := make(map[topo.DeviceID]bool)
+			for _, link := range paths[i] {
+				if int(link) < 0 || int(link) >= len(tp.Links) {
+					continue
+				}
+				for _, end := range []topo.DeviceID{tp.Links[link].From, tp.Links[link].To} {
+					if _, isSwitch := tp.Switches[end]; isSwitch && !seen[end] {
+						seen[end] = true
+						m[end]++
+					}
+				}
+			}
+		}
+		locals[w] = m
+	})
+	merged := locals[0]
+	for _, m := range locals[1:] {
+		for sw, v := range m {
+			merged[sw] += v
+		}
+	}
+	return merged
+}
+
+func topVotes(votes map[topo.LinkID]int) []LinkVote {
+	if len(votes) == 0 {
+		return nil
+	}
+	max := 0
+	for _, v := range votes {
+		if v > max {
+			max = v
+		}
+	}
+	var out []LinkVote
+	for l, v := range votes {
+		if v == max {
+			out = append(out, LinkVote{Link: l, Votes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+func topSwitchVotes(votes map[topo.DeviceID]int) []SwitchVote {
+	if len(votes) == 0 {
+		return nil
+	}
+	max := 0
+	for _, v := range votes {
+		if v > max {
+			max = v
+		}
+	}
+	var out []SwitchVote
+	for sw, v := range votes {
+		if v == max {
+			out = append(out, SwitchVote{Switch: sw, Votes: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
+	return out
+}
+
+// stageSwitchVote runs Algorithm 1 over the remaining anomalous probes'
+// paths — Cluster Monitoring and Service Tracing analyzed separately
+// (§4.3.3).
+func (a *Analyzer) stageSwitchVote(st *WindowState) {
+	rep := st.Report
+	var clusterPaths, servicePaths [][]topo.LinkID
+	clusterN, serviceN := 0, 0
+	for i := range st.Results {
+		if st.Causes[i] != CauseSwitch {
+			continue
+		}
+		r := &st.Results[i]
+		path := append(append([]topo.LinkID{}, r.ProbePath...), r.AckPath...)
+		if len(path) == 0 {
+			continue
+		}
+		if r.Kind == proto.ServiceTracing {
+			servicePaths = append(servicePaths, path)
+			serviceN++
+		} else {
+			clusterPaths = append(clusterPaths, path)
+			clusterN++
+		}
+	}
+	emit := func(paths [][]topo.LinkID, n int, fromService bool) {
+		if n < a.cfg.MinSwitchEvidence {
+			return
+		}
+		votes := topVotes(countLinkVotes(paths, a.workers()))
+		if len(votes) == 0 {
+			return
+		}
+		links := make([]topo.LinkID, len(votes))
+		for i, lv := range votes {
+			links[i] = lv.Link
+		}
+		// Footnote 4: if the suspicion concentrates on one RNIC's host
+		// cable, this is an RNIC problem (RNIC / its cable / the ToR port
+		// it plugs into are indistinguishable to probing).
+		if dev, ok := a.soleHostCableDevice(links); ok {
+			rep.Problems = append(rep.Problems, Problem{
+				Kind:               ProblemRNIC,
+				Device:             dev,
+				Host:               a.devHost(dev),
+				Evidence:           votes[0].Votes,
+				FromServiceTracing: fromService,
+				Window:             rep.Index,
+			})
+			return
+		}
+		rep.Problems = append(rep.Problems, Problem{
+			Kind:               ProblemSwitchLink,
+			Link:               links[0],
+			Links:              links,
+			Evidence:           votes[0].Votes,
+			FromServiceTracing: fromService,
+			Window:             rep.Index,
+		})
+	}
+	emit(clusterPaths, clusterN, false)
+	emit(servicePaths, serviceN, true)
+
+	// Footnote 5: the switch-level vote over all anomalous paths.
+	if clusterN+serviceN >= a.cfg.MinSwitchEvidence {
+		all := append(append([][]topo.LinkID{}, clusterPaths...), servicePaths...)
+		rep.SuspiciousSwitches = topSwitchVotes(countSwitchVotes(a.tp, all, a.workers()))
+	}
+}
+
+// soleHostCableDevice reports the single RNIC whose host cable accounts
+// for every candidate link, if any.
+func (a *Analyzer) soleHostCableDevice(links []topo.LinkID) (topo.DeviceID, bool) {
+	var dev topo.DeviceID
+	for _, l := range links {
+		if int(l) < 0 || int(l) >= len(a.tp.Links) {
+			return "", false
+		}
+		link := a.tp.Links[l]
+		var end topo.DeviceID
+		if _, ok := a.tp.RNICs[link.From]; ok {
+			end = link.From
+		} else if _, ok := a.tp.RNICs[link.To]; ok {
+			end = link.To
+		} else {
+			return "", false
+		}
+		if dev == "" {
+			dev = end
+		} else if dev != end {
+			return "", false
+		}
+	}
+	return dev, dev != ""
+}

@@ -41,6 +41,11 @@ type Config struct {
 	// publishes per-window aggregates into.
 	TSDB tsdb.Config
 
+	// AnalyzerStages appends extra attribution stages to the Analyzer's
+	// pipeline, after the built-in cascade (e.g. the watchdog's §7.5
+	// decision tree, or a future INT-based localizer).
+	AnalyzerStages []analyzer.Stage
+
 	// MaxClockOffset randomizes each RNIC and host clock offset uniformly
 	// in [-MaxClockOffset, +MaxClockOffset]. Defaults to 10 s — large
 	// enough that any algebra accidentally mixing clocks is glaring.
@@ -129,6 +134,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	net := simnet.New(eng, tp, cfg.Net)
 	ctrl := controller.New(eng, tp, cfg.Controller)
 	an := analyzer.New(eng, tp, ctrl, cfg.Analyzer)
+	for _, s := range cfg.AnalyzerStages {
+		an.AppendStage(s)
+	}
 
 	var tracer trace.PathTracer
 	if cfg.UseINT {
@@ -214,8 +222,12 @@ func (c *Cluster) StartAgents() {
 		})
 	}
 	c.Eng.At(c.Eng.Now()+150*sim.Millisecond, func() {
-		for _, node := range c.Hosts {
-			node.Agent.RefreshPinglists()
+		// Sorted host order: refreshing re-arms every probing ticker, so
+		// iterating the Hosts map here would let Go's randomized map order
+		// decide event seq for all future same-instant probe firings and
+		// break per-seed reproducibility.
+		for _, hid := range c.Topo.AllHosts() {
+			c.Hosts[hid].Agent.RefreshPinglists()
 		}
 	})
 }

@@ -23,6 +23,7 @@ type Distribution struct {
 	max     float64
 	cap     int
 	rng     *rand.Rand
+	seed    int64
 	sorted  bool
 }
 
@@ -43,9 +44,25 @@ func NewDistributionSize(size int, seed int64) *Distribution {
 		samples: make([]float64, 0, min(size, 1024)),
 		cap:     size,
 		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		min:     math.Inf(1),
 		max:     math.Inf(-1),
 	}
+}
+
+// Reset empties the distribution in place, keeping the sample buffer's
+// backing array and re-seeding the subsampling stream, so a reused
+// distribution observes any sample sequence bit-identically to a fresh
+// one — callers (the Analyzer's per-window SLA scratch) rely on that to
+// reuse buffers across windows without perturbing seeded runs.
+func (d *Distribution) Reset() {
+	d.samples = d.samples[:0]
+	d.n = 0
+	d.sum = 0
+	d.min = math.Inf(1)
+	d.max = math.Inf(-1)
+	d.rng = rand.New(rand.NewSource(d.seed))
+	d.sorted = false
 }
 
 // Add observes one sample.

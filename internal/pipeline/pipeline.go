@@ -221,14 +221,23 @@ func (p *Pipeline) Subscribe(s proto.UploadSink) {
 	p.subs = append(p.subs, s)
 }
 
-// PartitionOf reports which shard a host's uploads land on (FNV-1a).
-func (p *Pipeline) PartitionOf(host string) int {
+// PartitionKey maps a key onto one of n shards (FNV-1a). It is the
+// single partitioning function of the telemetry tier: the ingest bus
+// shards uploads with it, and the Analyzer's sharded window stages key
+// their workers with it so per-host work lands on consistent shards in
+// both layers.
+func PartitionKey(key string, n int) int {
 	h := uint64(14695981039346656037)
-	for i := 0; i < len(host); i++ {
-		h ^= uint64(host[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return int(h % uint64(len(p.parts)))
+	return int(h % uint64(n))
+}
+
+// PartitionOf reports which shard a host's uploads land on.
+func (p *Pipeline) PartitionOf(host string) int {
+	return PartitionKey(host, len(p.parts))
 }
 
 // Upload implements proto.UploadSink: hash, admit under the overload

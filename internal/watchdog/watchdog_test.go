@@ -128,6 +128,47 @@ func TestPFCAdvisory(t *testing.T) {
 	}
 }
 
+// The watchdog can ride the Analyzer's pipeline directly: attached as
+// the "watchdogDiagnose" stage it diagnoses each window's problems as
+// they are produced, instead of the operator calling Diagnose by hand.
+func TestAttachedStageDiagnosesPerWindow(t *testing.T) {
+	c := cluster(t, 5)
+	w := New(c, Config{})
+	w.AttachStage()
+	w.AttachStage() // idempotent
+	c.StartAgents()
+
+	names := c.Analyzer.Stages()
+	if names[len(names)-1] != "watchdogDiagnose" {
+		t.Fatalf("stage not appended: %v", names)
+	}
+
+	// Before Start the stage must stay inert.
+	c.Run(30 * sim.Second)
+	w.Start()
+
+	victim := c.Topo.AllRNICs()[0]
+	in := faultgen.NewInjector(c, 1)
+	if _, err := in.Inject(faultgen.Fault{Cause: faultgen.PacketCorruption, Dev: victim, Severity: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(3 * sim.Minute)
+
+	// Early windows may out-run the first counter sweep and diagnose
+	// CauseUnknown/down; once advisories accumulate, the per-window
+	// diagnoses must name the corruption.
+	found := false
+	for _, d := range w.WindowDiagnoses() {
+		if d.Problem.Device == victim && d.Cause == CauseCorruption {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("attached stage never named corruption for %s: %v", victim, w.WindowDiagnoses())
+	}
+}
+
 func TestAdvisoryStrings(t *testing.T) {
 	for _, a := range []Advice{ReplaceCable, IsolateDevice, InspectPFC, Advice(9)} {
 		if a.String() == "" {

@@ -56,16 +56,33 @@ type (
 	RailConfig = topo.RailConfig
 )
 
-// Analysis outputs.
+// Analysis outputs and the staged attribution pipeline.
 type (
+	// AnalyzerConfig parameterizes the Analyzer (set it in
+	// Config.Analyzer); AnalyzerConfig.Workers shards the data-parallel
+	// stages without changing any output bit.
+	AnalyzerConfig = analyzer.Config
 	// WindowReport is one 20-second analysis window's outcome.
 	WindowReport = analyzer.WindowReport
+	// SLA is one network's per-window drop/latency summary.
+	SLA = analyzer.SLA
 	// Problem is a detected-and-located problem with its P0/P1/P2
 	// priority.
 	Problem = analyzer.Problem
 	// Priority is the impact triage level.
 	Priority = analyzer.Priority
+	// AnalyzerStage is one step of the attribution pipeline; extra
+	// stages slot in via Config.AnalyzerStages or
+	// Cluster.Analyzer.AppendStage / InsertStageAfter.
+	AnalyzerStage = analyzer.Stage
+	// AnalyzerWindowState is the per-window state stages share.
+	AnalyzerWindowState = analyzer.WindowState
 )
+
+// NewAnalyzerStage wraps a function as a named attribution stage.
+func NewAnalyzerStage(name string, fn func(*AnalyzerWindowState)) AnalyzerStage {
+	return analyzer.NewStage(name, fn)
+}
 
 // Priorities.
 const (
