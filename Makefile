@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench ci serve-smoke
 
 all: build
 
@@ -14,11 +14,30 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages (analyzer worker pool, ingest
-# pipeline, tsdb, wire) get a dedicated race pass with repetition;
-# everything else runs once.
+# pipeline, tsdb, wire, and the alert/API console tier) get a dedicated
+# race pass with repetition; everything else runs once.
 race:
-	$(GO) test -race -count=2 ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire
+	$(GO) test -race -count=2 ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
 	$(GO) test -race ./...
+
+# Boot the live daemon with the ops console and smoke-test it over real
+# HTTP: /healthz and /api/incidents must both answer 200 (curl -f fails
+# the target otherwise).
+SMOKE_HTTP ?= 127.0.0.1:18080
+SMOKE_WIRE ?= 127.0.0.1:17201
+serve-smoke:
+	$(GO) build -o bin/rpmesh-controller ./cmd/rpmesh-controller
+	@set -e; \
+	./bin/rpmesh-controller -listen $(SMOKE_WIRE) -serve $(SMOKE_HTTP) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+	  if curl -fsS http://$(SMOKE_HTTP)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: /healthz never answered"; exit 1; }; \
+	echo "GET /healthz"; curl -fsS http://$(SMOKE_HTTP)/healthz; echo; \
+	echo "GET /api/incidents"; curl -fsS http://$(SMOKE_HTTP)/api/incidents; echo; \
+	echo "serve-smoke: ok"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -14,12 +14,20 @@
 //
 // Usage:
 //
+// With -serve, the daemon additionally exposes the ops-console HTTP API
+// (internal/api): incidents folded by the alert engine from every
+// analyzer window, window reports by sequence number, tsdb range and
+// quantile queries, and pipeline self-metrics.
+//
+// Usage:
+//
 //	rpmesh-controller [-listen 127.0.0.1:7201] [-partitions 4 -capacity 256 -policy block]
 //	                  [-pods 2 -tors 2 -aggs 2 -spines 4 -hosts 2 -rnics 2]
-//	                  [-workers N -analyzer-window 20s]
+//	                  [-workers N -analyzer-window 20s] [-serve :8080]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +38,9 @@ import (
 	"syscall"
 	"time"
 
+	"rpingmesh/internal/alert"
 	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/api"
 	"rpingmesh/internal/controller"
 	"rpingmesh/internal/metrics"
 	"rpingmesh/internal/pipeline"
@@ -128,6 +138,7 @@ func main() {
 	statsEvery := flag.Duration("stats", 10*time.Second, "self-metrics print interval")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analyzer shard workers per window (1 = serial)")
 	anWindow := flag.Duration("analyzer-window", 20*time.Second, "analyzer attribution window")
+	serve := flag.String("serve", "", "ops-console HTTP listen address (e.g. :8080); empty disables")
 	flag.Parse()
 
 	pol, err := parsePolicy(*policy)
@@ -164,11 +175,29 @@ func main() {
 	pipe.Start()
 	defer pipe.Stop()
 
+	// The console/alarm tier: every window report folds into the incident
+	// engine; with -serve the HTTP API fronts the whole deployment. The
+	// daemon has no watchdog (counters live in the simulated fabric), so
+	// /api/diagnose stays unwired and answers 501.
+	alerts := alert.NewEngine(alert.Config{})
+	alerts.AddNotifier(alert.LogNotifier{Logger: log.New(os.Stdout, "alert: ", 0)})
+
 	srv, err := wire.Listen(*listen, ctrl, pipe)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
+
+	var console *api.Server
+	if *serve != "" {
+		console = api.New(api.Backend{
+			Windows: an, TSDB: db, Pipeline: pipe, Alerts: alerts,
+		}, api.Config{Addr: *serve})
+		if err := console.Start(); err != nil {
+			log.Fatalf("ops console: %v", err)
+		}
+		fmt.Printf("ops console serving http://%s\n", console.Addr())
+	}
 	fmt.Printf("rpmesh-controller serving %s (%d RNICs across %d hosts; ingest: %d partitions × cap %d, policy %s; analyzer: %d workers, %s windows)\n",
 		srv.Addr(), len(tp.RNICs), len(tp.Hosts), *partitions, *capacity, pol, *workers, *anWindow)
 
@@ -185,6 +214,7 @@ func main() {
 			// concurrently from the pipeline consumers.
 			aeng.RunUntil(sim.Time(time.Now().UnixNano()))
 			rep := an.Tick()
+			alerts.Observe(rep)
 			fmt.Printf("analyzer: window=%d probes=%d drops[rnic=%.4f switch=%.4f] problems=%d suspicious_switches=%d\n",
 				rep.Index, rep.Cluster.Probes, rep.Cluster.RNICDropRate,
 				rep.Cluster.SwitchDropRate, len(rep.Problems), len(rep.SuspiciousSwitches))
@@ -213,6 +243,11 @@ func main() {
 			}
 		case <-sig:
 			fmt.Println("shutting down")
+			if console != nil {
+				if err := console.Shutdown(context.Background()); err != nil {
+					fmt.Printf("ops console shutdown: %v\n", err)
+				}
+			}
 			pipe.Stop()
 			final := pipe.Stats()
 			fmt.Printf("final pipeline: %s\n", final)

@@ -1,0 +1,46 @@
+package alert
+
+import (
+	"fmt"
+	"testing"
+
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/topo"
+)
+
+// BenchmarkIncidentFold folds 10k problems per window into the lifecycle
+// engine — the console tier's hot path when a fabric-wide event (a spine
+// failure, a PFC storm) lights up thousands of entities at once. Windows
+// alternate between two overlapping entity sets so every window exercises
+// both the open and the fold/update paths, plus resolve churn.
+func BenchmarkIncidentFold(b *testing.B) {
+	const perWindow = 10_000
+	probs := make([][]analyzer.Problem, 2)
+	for phase := range probs {
+		probs[phase] = make([]analyzer.Problem, perWindow)
+		for i := 0; i < perWindow; i++ {
+			// Half the entities are shared across phases (fold path),
+			// half alternate (open/resolve churn).
+			ent := i
+			if i%2 == 1 {
+				ent = i + phase*perWindow
+			}
+			probs[phase][i] = analyzer.Problem{
+				Kind:     analyzer.ProblemRNIC,
+				Priority: analyzer.Priority(i % 3),
+				Device:   topo.DeviceID(fmt.Sprintf("dev%05d", ent)),
+				Evidence: i % 50,
+			}
+		}
+	}
+
+	e := NewEngine(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Observe(rep(n, probs[n%2]...))
+	}
+	b.StopTimer()
+	st := e.Stats()
+	b.ReportMetric(float64(st.ProblemsFolded)/float64(b.N), "problems/window")
+}

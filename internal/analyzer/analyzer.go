@@ -140,6 +140,11 @@ type SLA struct {
 
 // WindowReport is the outcome of one 20 s analysis window.
 type WindowReport struct {
+	// Index is the stable, monotonically increasing window sequence
+	// number: window k is the k-th Tick ever run (0-based). It survives
+	// RetainWindows trimming — slice position in Reports() does not — so
+	// everything downstream (Problem.Window, the alert tier's incident
+	// history, /api/windows/{n}) keys on it, never on slice position.
 	Index      int
 	Start, End sim.Time
 
@@ -385,6 +390,29 @@ func (a *Analyzer) TotalWindows() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.ticks
+}
+
+// FirstRetainedWindow returns the sequence number of the oldest report
+// still retained — TotalWindows() minus the retained count. The valid
+// argument range for ReportByIndex is [FirstRetainedWindow, TotalWindows).
+func (a *Analyzer) FirstRetainedWindow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ticks - len(a.windows)
+}
+
+// ReportByIndex returns the retained report whose sequence number
+// (WindowReport.Index) is n. ok is false when window n was trimmed by
+// Config.RetainWindows or has not run yet — callers wanting older
+// windows must go to the tsdb the Analyzer publishes into.
+func (a *Analyzer) ReportByIndex(n int) (WindowReport, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	first := a.ticks - len(a.windows)
+	if n < first || n >= a.ticks {
+		return WindowReport{}, false
+	}
+	return a.windows[n-first], true
 }
 
 // LastReport returns the most recent window report.

@@ -71,6 +71,45 @@ func TestWindowRetentionBounded(t *testing.T) {
 	}
 }
 
+// ReportByIndex keys on the stable window sequence number, so pruning
+// and window numbering always agree: after a trim the absolute indices
+// [FirstRetainedWindow, TotalWindows) resolve, everything older or newer
+// reports !ok, and each resolved report carries its own sequence number.
+func TestReportByIndexAgreesWithPruning(t *testing.T) {
+	h := newHarness(t, Config{RetainWindows: 4})
+	const ticks = 10
+	for i := 0; i < ticks; i++ {
+		h.eng.RunUntil(h.eng.Now() + h.an.Window())
+		h.an.Tick()
+	}
+
+	first := h.an.FirstRetainedWindow()
+	if first != ticks-4 {
+		t.Fatalf("FirstRetainedWindow = %d, want %d", first, ticks-4)
+	}
+	for n := 0; n < first; n++ {
+		if _, ok := h.an.ReportByIndex(n); ok {
+			t.Fatalf("trimmed window %d still resolves", n)
+		}
+	}
+	for n := first; n < ticks; n++ {
+		rep, ok := h.an.ReportByIndex(n)
+		if !ok || rep.Index != n {
+			t.Fatalf("ReportByIndex(%d) = (Index=%d, %v), want it to resolve to itself", n, rep.Index, ok)
+		}
+	}
+	if _, ok := h.an.ReportByIndex(ticks); ok {
+		t.Fatal("future window resolves")
+	}
+	// Problems stamp the same sequence numbers: a problem's Window field
+	// is directly usable as a ReportByIndex argument while retained.
+	for _, p := range h.an.Problems() {
+		if rep, ok := h.an.ReportByIndex(p.Window); !ok || rep.Index != p.Window {
+			t.Fatalf("problem window %d does not resolve to its report", p.Window)
+		}
+	}
+}
+
 // The default retention is wide enough that no existing workload ever
 // trims (tests elsewhere rely on Reports() being complete).
 func TestWindowRetentionDefault(t *testing.T) {

@@ -1,0 +1,578 @@
+// Package api is the ops-console front door of the Fig-3 deployment: a
+// net/http JSON server answering operator queries over a live system —
+// incidents from the alert tier, per-window analyzer reports, historical
+// range/quantile queries from the tsdb, ingest-pipeline drop accounting,
+// and on-demand watchdog diagnosis. It is the HTTP face the paper's
+// "monitoring console" implies but never specifies.
+//
+// Every handler is read-only except /api/diagnose/{host}, which invokes
+// the watchdog's §7.5 decision tree on demand. The server owns nothing:
+// it reads through the Backend's narrow interfaces (satisfied by
+// *analyzer.Analyzer, *tsdb.DB, *pipeline.Pipeline, *alert.Engine), so
+// it can front a deterministic simulation and the live TCP daemon with
+// the same code. Requests are bounded by a per-request timeout, every
+// endpoint keeps its own request/error/latency counters (served at
+// /api/metrics), and Shutdown drains in-flight requests gracefully.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rpingmesh/internal/alert"
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/pipeline"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/tsdb"
+)
+
+// WindowSource serves analyzer window reports; *analyzer.Analyzer
+// implements it.
+type WindowSource interface {
+	LastReport() (analyzer.WindowReport, bool)
+	ReportByIndex(n int) (analyzer.WindowReport, bool)
+	FirstRetainedWindow() int
+	TotalWindows() int
+}
+
+// SeriesStore answers historical time-series queries; *tsdb.DB
+// implements it.
+type SeriesStore interface {
+	Series() []string
+	Latest(name string) (tsdb.Point, bool)
+	Range(name string, from, to sim.Time) []tsdb.Point
+	Quantile(name string, from, to sim.Time, q float64) (float64, bool)
+}
+
+// StatsSource exposes the ingest pipeline's drop accounting;
+// *pipeline.Pipeline implements it.
+type StatsSource interface {
+	Stats() pipeline.Stats
+}
+
+// ErrUnknownHost is returned by DiagnoseFunc implementations when the
+// host does not exist; the server maps it to 404.
+var ErrUnknownHost = errors.New("unknown host")
+
+// DiagnoseFunc runs an on-demand diagnosis for one host — the only
+// non-read endpoint. The wiring passes watchdog.DiagnoseHost here.
+type DiagnoseFunc func(host string) (any, error)
+
+// Backend bundles everything the server reads. Nil fields disable their
+// endpoints with 503 (501 for a nil Diagnose), so partial deployments —
+// the TCP daemon has no simulated cluster to diagnose — still serve the
+// rest.
+type Backend struct {
+	Windows  WindowSource
+	TSDB     SeriesStore
+	Pipeline StatsSource
+	Alerts   *alert.Engine
+	Diagnose DiagnoseFunc
+}
+
+// Config tunes the server; zero values take the defaults.
+type Config struct {
+	// Addr is the listen address for Start (e.g. ":8080"). Ignored when
+	// the handler is mounted by hand (httptest).
+	Addr string
+	// RequestTimeout bounds each request end to end (default 5 s).
+	RequestTimeout time.Duration
+	// ShutdownTimeout bounds graceful drain on Shutdown (default 5 s).
+	ShutdownTimeout time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 5 * time.Second
+	}
+}
+
+// EndpointStats is one endpoint's counters.
+type EndpointStats struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"` // responses with status >= 400
+	TotalUS  int64  `json:"total_us"`
+	MaxUS    int64  `json:"max_us"`
+}
+
+// Server is the ops HTTP server.
+type Server struct {
+	cfg     Config
+	b       Backend
+	handler http.Handler
+	started time.Time
+
+	mu      sync.Mutex
+	metrics map[string]*EndpointStats
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a server over a backend.
+func New(b Backend, cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:     cfg,
+		b:       b,
+		started: time.Now(),
+		metrics: make(map[string]*EndpointStats),
+	}
+
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(name, h))
+	}
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /api/incidents", "incidents", s.handleIncidents)
+	route("GET /api/incidents/{id}", "incident", s.handleIncident)
+	route("GET /api/alerts/stats", "alerts_stats", s.handleAlertStats)
+	route("GET /api/windows/latest", "windows_latest", s.handleWindowLatest)
+	route("GET /api/windows/{n}", "windows_n", s.handleWindowN)
+	route("GET /api/series", "series_list", s.handleSeriesList)
+	route("GET /api/series/{name}/range", "series_range", s.handleSeriesRange)
+	route("GET /api/series/{name}/quantile", "series_quantile", s.handleSeriesQuantile)
+	route("GET /api/pipeline/stats", "pipeline_stats", s.handlePipelineStats)
+	route("GET /api/metrics", "metrics", s.handleMetrics)
+	// Diagnosis triggers work; POST is the documented verb, GET is
+	// accepted for curl convenience.
+	route("POST /api/diagnose/{host}", "diagnose", s.handleDiagnose)
+	route("GET /api/diagnose/{host}", "diagnose", s.handleDiagnose)
+
+	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout,
+		`{"error":"request timed out"}`)
+	return s
+}
+
+// Handler returns the fully wired (instrumented, timeout-bounded)
+// handler — what tests mount on httptest.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Start listens on Config.Addr and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler: s.handler,
+		// Header/read bounds so a stuck client cannot pin a conn forever.
+		ReadHeaderTimeout: s.cfg.RequestTimeout,
+		ReadTimeout:       2 * s.cfg.RequestTimeout,
+	}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	go func() {
+		// ErrServerClosed is the normal Shutdown signal.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Printf("api: serve: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with Addr ":0").
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains in-flight requests and closes the listener. Safe to
+// call without Start (no-op) and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
+		defer cancel()
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Metrics snapshots the per-endpoint counters.
+func (s *Server) Metrics() map[string]EndpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]EndpointStats, len(s.metrics))
+	for k, v := range s.metrics {
+		out[k] = *v
+	}
+	return out
+}
+
+// statusWriter captures the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		us := time.Since(t0).Microseconds()
+		s.mu.Lock()
+		m, ok := s.metrics[name]
+		if !ok {
+			m = &EndpointStats{}
+			s.metrics[name] = m
+		}
+		m.Requests++
+		if sw.status >= 400 {
+			m.Errors++
+		}
+		m.TotalUS += us
+		if us > m.MaxUS {
+			m.MaxUS = us
+		}
+		s.mu.Unlock()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	}
+	if s.b.Windows != nil {
+		resp["windows"] = s.b.Windows.TotalWindows()
+	}
+	if s.b.TSDB != nil {
+		resp["series"] = len(s.b.TSDB.Series())
+	}
+	if s.b.Alerts != nil {
+		st := s.b.Alerts.Stats()
+		resp["incidents_active"] = st.ActiveCount
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// transitionJSON / incidentJSON are the stable wire shapes of the
+// console API — enum values go out as strings, times as nanoseconds.
+type transitionJSON struct {
+	Type     string   `json:"type"`
+	Window   int      `json:"window"`
+	At       sim.Time `json:"at_ns"`
+	Severity string   `json:"severity"`
+}
+
+type incidentJSON struct {
+	ID          uint64           `json:"id"`
+	Entity      string           `json:"entity"`
+	Class       string           `json:"class"`
+	State       string           `json:"state"`
+	Severity    string           `json:"severity"`
+	Suppressed  bool             `json:"suppressed,omitempty"`
+	Opens       int              `json:"opens"`
+	Flaps       int              `json:"flaps"`
+	Count       int              `json:"count"`
+	Evidence    int              `json:"evidence"`
+	FirstWindow int              `json:"first_window"`
+	LastWindow  int              `json:"last_window"`
+	FirstSeen   sim.Time         `json:"first_seen_ns"`
+	LastSeen    sim.Time         `json:"last_seen_ns"`
+	ResolvedAt  sim.Time         `json:"resolved_at_ns,omitempty"`
+	AckedBy     string           `json:"acked_by,omitempty"`
+	Transitions []transitionJSON `json:"transitions"`
+}
+
+func incidentToJSON(in alert.Incident) incidentJSON {
+	out := incidentJSON{
+		ID: in.ID, Entity: in.Key.Entity, Class: in.Key.Class.String(),
+		State: in.State.String(), Severity: in.Severity.String(),
+		Suppressed: in.Suppressed, Opens: in.Opens, Flaps: in.Flaps,
+		Count: in.Count, Evidence: in.Evidence,
+		FirstWindow: in.FirstWindow, LastWindow: in.LastWindow,
+		FirstSeen: in.FirstSeen, LastSeen: in.LastSeen,
+		ResolvedAt: in.ResolvedAt, AckedBy: in.AckedBy,
+		Transitions: make([]transitionJSON, len(in.Transitions)),
+	}
+	for i, tr := range in.Transitions {
+		out.Transitions[i] = transitionJSON{
+			Type: tr.Type.String(), Window: tr.Window,
+			At: tr.At, Severity: tr.Severity.String(),
+		}
+	}
+	return out
+}
+
+func parseState(s string) (alert.State, bool) {
+	switch s {
+	case "open":
+		return alert.StateOpen, true
+	case "acked":
+		return alert.StateAcked, true
+	case "resolved":
+		return alert.StateResolved, true
+	}
+	return 0, false
+}
+
+func parseSeverity(s string) (alert.Severity, bool) {
+	switch s {
+	case "critical":
+		return alert.SevCritical, true
+	case "major":
+		return alert.SevMajor, true
+	case "minor":
+		return alert.SevMinor, true
+	}
+	return 0, false
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if s.b.Alerts == nil {
+		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
+		return
+	}
+	var f alert.Filter
+	q := r.URL.Query()
+	if v := q.Get("state"); v != "" {
+		st, ok := parseState(v)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "bad state %q (want open, acked or resolved)", v)
+			return
+		}
+		f.State = &st
+	}
+	if v := q.Get("severity"); v != "" {
+		sev, ok := parseSeverity(v)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "bad severity %q (want critical, major or minor)", v)
+			return
+		}
+		f.Severity = &sev
+	}
+	f.Entity = q.Get("entity")
+	f.IncludeArchived = q.Get("archived") == "true"
+
+	ins := s.b.Alerts.Incidents(f)
+	out := make([]incidentJSON, len(ins))
+	for i, in := range ins {
+		out[i] = incidentToJSON(in)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "incidents": out})
+}
+
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	if s.b.Alerts == nil {
+		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad incident id %q", r.PathValue("id"))
+		return
+	}
+	in, ok := s.b.Alerts.Incident(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no incident %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, incidentToJSON(in))
+}
+
+func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
+	if s.b.Alerts == nil {
+		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.b.Alerts.Stats())
+}
+
+func (s *Server) handleWindowLatest(w http.ResponseWriter, r *http.Request) {
+	if s.b.Windows == nil {
+		writeErr(w, http.StatusServiceUnavailable, "analyzer not wired")
+		return
+	}
+	rep, ok := s.b.Windows.LastReport()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no window has closed yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleWindowN(w http.ResponseWriter, r *http.Request) {
+	if s.b.Windows == nil {
+		writeErr(w, http.StatusServiceUnavailable, "analyzer not wired")
+		return
+	}
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad window number %q", r.PathValue("n"))
+		return
+	}
+	rep, ok := s.b.Windows.ReportByIndex(n)
+	if !ok {
+		writeErr(w, http.StatusNotFound,
+			"window %d not retained (retained: [%d, %d))",
+			n, s.b.Windows.FirstRetainedWindow(), s.b.Windows.TotalWindows())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleSeriesList(w http.ResponseWriter, r *http.Request) {
+	if s.b.TSDB == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"series": s.b.TSDB.Series()})
+}
+
+// parseRange reads from/to (ns) query params; defaults cover everything.
+func parseRange(r *http.Request) (from, to sim.Time, err error) {
+	from, to = 0, sim.Time(math.MaxInt64)
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad from %q", v)
+		}
+		from = sim.Time(n)
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad to %q", v)
+		}
+		to = sim.Time(n)
+	}
+	return from, to, nil
+}
+
+func (s *Server) handleSeriesRange(w http.ResponseWriter, r *http.Request) {
+	if s.b.TSDB == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
+		return
+	}
+	name := r.PathValue("name")
+	from, to, err := parseRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	points := s.b.TSDB.Range(name, from, to)
+	if points == nil {
+		if _, ok := s.b.TSDB.Latest(name); !ok {
+			writeErr(w, http.StatusNotFound, "no series %q", name)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"series": name, "count": len(points), "points": points,
+	})
+}
+
+func (s *Server) handleSeriesQuantile(w http.ResponseWriter, r *http.Request) {
+	if s.b.TSDB == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
+		return
+	}
+	name := r.PathValue("name")
+	from, to, err := parseRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := 0.5
+	if v := r.URL.Query().Get("q"); v != "" {
+		q, err = strconv.ParseFloat(v, 64)
+		if err != nil || q < 0 || q > 1 {
+			writeErr(w, http.StatusBadRequest, "bad quantile %q (want 0..1)", v)
+			return
+		}
+	}
+	val, ok := s.b.TSDB.Quantile(name, from, to, q)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no data for %q in range", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"series": name, "q": q, "value": val,
+	})
+}
+
+func (s *Server) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
+	if s.b.Pipeline == nil {
+		writeErr(w, http.StatusServiceUnavailable, "pipeline not wired")
+		return
+	}
+	st := s.b.Pipeline.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enqueued":          st.Enqueued,
+		"dequeued":          st.Dequeued,
+		"delivered":         st.Delivered,
+		"results_delivered": st.ResultsDelivered,
+		"dropped_oldest":    st.DroppedOldest,
+		"dropped_newest":    st.DroppedNewest,
+		"results_shed":      st.ResultsShed,
+		"block_waits":       st.BlockWaits,
+		"max_lag_ns":        int64(st.Lag.Max),
+		"partitions":        st.Partitions,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if s.b.Diagnose == nil {
+		writeErr(w, http.StatusNotImplemented, "diagnosis not wired (no watchdog on this deployment)")
+		return
+	}
+	host := r.PathValue("host")
+	out, err := s.b.Diagnose(host)
+	switch {
+	case errors.Is(err, ErrUnknownHost):
+		writeErr(w, http.StatusNotFound, "unknown host %q", host)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "diagnose %q: %v", host, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"host": host, "diagnoses": out})
+	}
+}

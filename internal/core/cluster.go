@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"rpingmesh/internal/agent"
+	"rpingmesh/internal/alert"
 	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/controller"
 	"rpingmesh/internal/pipeline"
@@ -40,6 +41,11 @@ type Config struct {
 	// TSDB configures the bounded time-series store the Analyzer
 	// publishes per-window aggregates into.
 	TSDB tsdb.Config
+	// Alert configures the incident lifecycle engine fed from every
+	// analysis window (the console/alarm tier of Fig 3). The zero value
+	// uses the defaults; the engine always runs — observing an empty
+	// window is how open incidents eventually auto-resolve.
+	Alert alert.Config
 
 	// AnalyzerStages appends extra attribution stages to the Analyzer's
 	// pipeline, after the built-in cascade (e.g. the watchdog's §7.5
@@ -92,6 +98,10 @@ type Cluster struct {
 	// TSDB holds the Analyzer's per-window aggregates for historical
 	// queries.
 	TSDB *tsdb.DB
+	// Alerts folds each window's Problems into long-lived incidents
+	// (open → acked → resolved, with flap suppression); the ops-console
+	// API and notifiers hang off it.
+	Alerts *alert.Engine
 
 	cfg  Config
 	taps []func(proto.UploadBatch)
@@ -171,6 +181,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.Ingest = pipeline.New(pcfg, proto.UploadSinkFunc(c.deliver))
 	c.TSDB = tsdb.Open(cfg.TSDB)
 	an.SetMetricSink(c.TSDB)
+	c.Alerts = alert.NewEngine(cfg.Alert)
 
 	agentCtrl := proto.Controller(ctrl)
 	if cfg.WrapController != nil {
@@ -196,11 +207,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	// Periodic control-plane work: the Analyzer window (flushing the
-	// ingest tier first so windows close on complete data) and the
-	// Controller's hourly tuple rotation.
+	// ingest tier first so windows close on complete data, then folding
+	// the report into the incident engine) and the Controller's hourly
+	// tuple rotation.
 	eng.Every(an.Window(), an.Window(), func() {
 		c.Ingest.DrainAll()
-		an.Tick()
+		c.Alerts.Observe(an.Tick())
 	})
 	eng.Every(cfg.RotateInterval, cfg.RotateInterval, ctrl.RotateInterToR)
 

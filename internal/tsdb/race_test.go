@@ -1,0 +1,106 @@
+package tsdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rpingmesh/internal/sim"
+)
+
+// Queries that straddle the raw→window→coarse tier seams must stay safe
+// and sane while foreign goroutines keep appending — the live-daemon
+// topology, where pipeline consumers write and the ops API reads. Tiny
+// ring capacities force continuous eviction, so every Range/Quantile
+// crosses both seams while they move. Run under -race in CI.
+func TestRangeQuantileAcrossSeamsDuringIngest(t *testing.T) {
+	db := Open(Config{
+		RawCapacity: 64, WindowStep: 20 * sim.Second, WindowCapacity: 16,
+		CoarseStep: 5 * sim.Minute, CoarseCapacity: 8,
+	})
+	const (
+		writers   = 2
+		readers   = 3
+		perWriter = 1200
+		step      = 5 * sim.Second // 4 points per window bucket
+	)
+
+	var hi atomic.Int64 // highest timestamp written so far
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"rtt.p50_us", "rtt.p99_us"}[w]
+			for i := 0; i < perWriter; i++ {
+				ts := sim.Time(i) * step
+				db.Append(name, ts, 100+float64(i%50))
+				for {
+					cur := hi.Load()
+					if int64(ts) <= cur || hi.CompareAndSwap(cur, int64(ts)) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				to := sim.Time(hi.Load())
+				name := []string{"rtt.p50_us", "rtt.p99_us"}[r%2]
+				// Full-history scan: spans coarse, window, and raw tiers.
+				pts := db.Range(name, 0, to)
+				for i := 1; i < len(pts); i++ {
+					if pts[i].T < pts[i-1].T {
+						t.Errorf("Range out of order at %d: %v then %v", i, pts[i-1], pts[i])
+						return
+					}
+				}
+				for _, p := range pts {
+					if p.V < 100 || p.V > 149 {
+						t.Errorf("Range value %v outside written [100,149]", p.V)
+						return
+					}
+				}
+				// Quantiles over the moving seams: the synthetic-sample
+				// approximation can never leave the written value range.
+				for _, q := range []float64{0, 0.5, 0.99, 1} {
+					if v, ok := db.Quantile(name, 0, to, q); ok && (v < 100 || v > 149) {
+						t.Errorf("Quantile(%v) = %v outside written [100,149]", q, v)
+						return
+					}
+				}
+				// A window-sized slice right at the raw horizon.
+				if to > 2*sim.Minute {
+					db.Range(name, to-2*sim.Minute, to-sim.Minute)
+					db.Quantile(name, to-2*sim.Minute, to, 0.5)
+				}
+				db.Latest(name)
+				db.Series()
+				db.Stats()
+			}
+		}(r)
+	}
+	rg.Wait()
+	<-done
+
+	// Eviction really happened on every tier, so the scans above did
+	// cross live seams rather than staying in the raw ring.
+	st := db.Stats()
+	if st.RawEvicted == 0 || st.WindowEvicted == 0 || st.CoarseEvicted == 0 {
+		t.Fatalf("seams never moved: %+v", st)
+	}
+}

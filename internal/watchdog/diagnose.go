@@ -59,6 +59,26 @@ func (d Diagnosis) String() string {
 	return fmt.Sprintf("%s at %s: root cause %s (%s)", d.Problem.Kind, where, d.Cause, d.Evidence)
 }
 
+// DiagnoseHost runs the §7.5 decision tree over every retained problem
+// anchored at one host — the ops console's "why is this host sick"
+// query. A problem anchors here either directly (Problem.Host) or
+// through a device the host owns. Unlike the per-window stage this
+// consults the full retained problem history, so an operator can ask
+// about a host whose incident opened several windows ago.
+func (w *Watchdog) DiagnoseHost(h topo.HostID) []Diagnosis {
+	var probs []analyzer.Problem
+	for _, p := range w.c.Analyzer.Problems() {
+		if p.Host == h {
+			probs = append(probs, p)
+			continue
+		}
+		if r, ok := w.c.Topo.RNICs[p.Device]; ok && r.Host == h {
+			probs = append(probs, p)
+		}
+	}
+	return w.Diagnose(probs)
+}
+
 // Diagnose combines the Analyzer's located problems with the watchdog's
 // counter advisories — the decision tree of §7.5. Problems without a
 // device/link anchor pass through as CauseUnknown.

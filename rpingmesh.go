@@ -22,7 +22,9 @@ package rpingmesh
 
 import (
 	"rpingmesh/internal/agent"
+	"rpingmesh/internal/alert"
 	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/api"
 	"rpingmesh/internal/core"
 	"rpingmesh/internal/experiments"
 	"rpingmesh/internal/faultgen"
@@ -134,6 +136,83 @@ const (
 	DropOldest = pipeline.DropOldest
 	DropNewest = pipeline.DropNewest
 )
+
+// Alerting & ops console (the console/alarm tier of Fig 3). Every
+// cluster owns an AlertEngine at Cluster.Alerts, fed one report per
+// analysis window; NewConsole fronts the whole deployment with the HTTP
+// query/diagnostic API.
+type (
+	// AlertEngine folds per-window problems into long-lived incidents.
+	AlertEngine = alert.Engine
+	// AlertConfig tunes hysteresis, flap suppression, and notification
+	// budgets (set it in Config.Alert).
+	AlertConfig = alert.Config
+	// Incident is one open → acked → resolved lifecycle, keyed by
+	// (entity, problem class).
+	Incident = alert.Incident
+	// IncidentState is the lifecycle state.
+	IncidentState = alert.State
+	// IncidentSeverity is the P0/P1/P2-derived severity ladder.
+	IncidentSeverity = alert.Severity
+	// IncidentFilter selects incidents in AlertEngine.Incidents.
+	IncidentFilter = alert.Filter
+	// AlertEvent is one notified transition.
+	AlertEvent = alert.Event
+	// AlertNotifier receives lifecycle events (see alert.LogNotifier and
+	// alert.MemNotifier for ready-made implementations).
+	AlertNotifier = alert.Notifier
+	// APIServer is the ops-console HTTP server.
+	APIServer = api.Server
+	// APIConfig tunes its listen address and timeouts.
+	APIConfig = api.Config
+	// APIBackend wires the server's data sources explicitly — NewConsole
+	// fills it from a Cluster; standalone daemons assemble their own.
+	APIBackend = api.Backend
+)
+
+// Incident lifecycle states and severities.
+const (
+	IncidentOpen     = alert.StateOpen
+	IncidentAcked    = alert.StateAcked
+	IncidentResolved = alert.StateResolved
+
+	SevMinor    = alert.SevMinor
+	SevMajor    = alert.SevMajor
+	SevCritical = alert.SevCritical
+)
+
+// NewConsole builds (without starting) the ops-console HTTP server over
+// a cluster: incidents from Cluster.Alerts, window reports from the
+// Analyzer, historical series from Cluster.TSDB, ingest self-metrics
+// from Cluster.Ingest. A non-nil watchdog wires POST /api/diagnose/{host}
+// to its §7.5 decision tree; with w == nil that endpoint answers 501.
+func NewConsole(c *Cluster, w *Watchdog, cfg APIConfig) *APIServer {
+	b := api.Backend{Windows: c.Analyzer, TSDB: c.TSDB, Pipeline: c.Ingest, Alerts: c.Alerts}
+	if w != nil {
+		b.Diagnose = func(host string) (any, error) {
+			hid := topo.HostID(host)
+			if _, ok := c.Topo.Hosts[hid]; !ok {
+				return nil, api.ErrUnknownHost
+			}
+			type diagnosisJSON struct {
+				Problem  Problem `json:"problem"`
+				Cause    string  `json:"cause"`
+				Evidence string  `json:"evidence"`
+				Summary  string  `json:"summary"`
+			}
+			ds := w.DiagnoseHost(hid)
+			out := make([]diagnosisJSON, len(ds))
+			for i, d := range ds {
+				out[i] = diagnosisJSON{
+					Problem: d.Problem, Cause: d.Cause.String(),
+					Evidence: d.Evidence, Summary: d.String(),
+				}
+			}
+			return out, nil
+		}
+	}
+	return api.New(b, cfg)
+}
 
 // Virtual time.
 type Time = sim.Time
