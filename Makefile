@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci serve-smoke
+.PHONY: all build vet test race bench ci serve-smoke \
+	soak soak-selftest bench-json bench-baseline bench-check determinism lint
 
 all: build
 
@@ -22,24 +23,92 @@ race:
 
 # Boot the live daemon with the ops console and smoke-test it over real
 # HTTP: /healthz and /api/incidents must both answer 200 (curl -f fails
-# the target otherwise).
-SMOKE_HTTP ?= 127.0.0.1:18080
-SMOKE_WIRE ?= 127.0.0.1:17201
+# the target otherwise). Both listeners bind :0 — the actual addresses
+# are parsed from the daemon's wire-addr=/http-addr= stdout lines, so
+# parallel CI jobs never collide on a hardcoded port.
 serve-smoke:
 	$(GO) build -o bin/rpmesh-controller ./cmd/rpmesh-controller
 	@set -e; \
-	./bin/rpmesh-controller -listen $(SMOKE_WIRE) -serve $(SMOKE_HTTP) & pid=$$!; \
+	rm -f bin/smoke.log; \
+	./bin/rpmesh-controller -listen 127.0.0.1:0 -serve 127.0.0.1:0 >bin/smoke.log 2>&1 & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
-	ok=0; for i in $$(seq 1 50); do \
-	  if curl -fsS http://$(SMOKE_HTTP)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	addr=; for i in $$(seq 1 50); do \
+	  addr=$$(sed -n 's/^http-addr=//p' bin/smoke.log 2>/dev/null | head -n1); \
+	  [ -n "$$addr" ] && break; \
+	  kill -0 $$pid 2>/dev/null || { echo "serve-smoke: daemon died"; cat bin/smoke.log; exit 1; }; \
 	  sleep 0.2; \
 	done; \
-	[ $$ok -eq 1 ] || { echo "serve-smoke: /healthz never answered"; exit 1; }; \
-	echo "GET /healthz"; curl -fsS http://$(SMOKE_HTTP)/healthz; echo; \
-	echo "GET /api/incidents"; curl -fsS http://$(SMOKE_HTTP)/api/incidents; echo; \
-	echo "serve-smoke: ok"
+	[ -n "$$addr" ] || { echo "serve-smoke: http-addr never printed"; cat bin/smoke.log; exit 1; }; \
+	ok=0; for i in $$(seq 1 50); do \
+	  if curl -fsS http://$$addr/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: /healthz never answered on $$addr"; cat bin/smoke.log; exit 1; }; \
+	echo "GET /healthz"; curl -fsS http://$$addr/healthz; echo; \
+	echo "GET /api/incidents"; curl -fsS http://$$addr/api/incidents; echo; \
+	echo "serve-smoke: ok ($$addr)"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# --- chaos / soak ------------------------------------------------------
+
+# Seeded chaos scenarios against the full monitoring stack; exits
+# non-zero with a minimized repro line on any invariant violation.
+soak:
+	$(GO) run ./cmd/rpmesh-soak -scenarios 5 -budget 100s
+
+# Prove the invariant suite has teeth: -tags chaosbreak deliberately
+# stops counting DropOldest sheds (internal/pipeline/accounting_break.go)
+# and the suite MUST catch it.
+soak-selftest:
+	$(GO) test -tags chaosbreak ./internal/chaos -run TestBrokenAccountingIsCaught -count=1
+
+# --- benchmark regression gate -----------------------------------------
+
+# Key benchmarks, each pinned by the regression gate: analyzer window
+# analysis (serial + sharded), incident folding, pipeline ingest.
+BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest)$$
+BENCH_PKGS    = . ./internal/analyzer ./internal/alert
+
+bench-json:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 0.5s -count 3 $(BENCH_PKGS) \
+		| ./bin/benchdiff -parse > BENCH_pr.json
+	@cat BENCH_pr.json
+
+# Refresh the committed baseline (run on a quiet machine, then commit).
+bench-baseline:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 0.5s -count 3 $(BENCH_PKGS) \
+		| ./bin/benchdiff -parse > BENCH_baseline.json
+	@cat BENCH_baseline.json
+
+# Fail if any gated benchmark regressed more than 25% vs the baseline.
+bench-check: bench-json
+	./bin/benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json -max-regress 0.25
+
+# --- determinism gate --------------------------------------------------
+
+# Golden/deterministic tests must produce identical results run-to-run
+# and be independent of scheduler parallelism: twice at GOMAXPROCS=1 and
+# twice at GOMAXPROCS=8.
+determinism:
+	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestGoldenEquivalence|TestIncidentTimelineGolden|TestIncidentTimelineDeterministic' .
+	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestGoldenEquivalence|TestIncidentTimelineGolden|TestIncidentTimelineDeterministic' .
+	GOMAXPROCS=1 $(GO) test -count=2 ./internal/chaos -run TestDeterminism
+	GOMAXPROCS=8 $(GO) test -count=2 ./internal/chaos -run TestDeterminism
+
+# --- static analysis ---------------------------------------------------
+
+# staticcheck and govulncheck run when available (CI installs them; dev
+# machines without network skip gracefully).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
 
 ci: build vet race

@@ -1,0 +1,152 @@
+// Command benchdiff is the benchmark regression gate.
+//
+// Two modes:
+//
+//	go test -bench ... | benchdiff -parse > BENCH_pr.json
+//	    Parse `go test -bench` text from stdin into canonical JSON: per
+//	    benchmark (GOMAXPROCS suffix stripped), the minimum ns/op across
+//	    all -count repetitions — min, not mean, because noise on a shared
+//	    CI runner only ever adds time.
+//
+//	benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json -max-regress 0.25
+//	    Exit non-zero if any baseline benchmark is missing from the
+//	    candidate or slowed down by more than -max-regress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the JSON schema of BENCH_baseline.json / BENCH_pr.json.
+type Snapshot struct {
+	// NsPerOp maps benchmark name (no -N GOMAXPROCS suffix) to the best
+	// observed ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8  	 100	 12345 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse reads go-test benchmark text and keeps the per-name minimum.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{NsPerOp: make(map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := snap.NsPerOp[m[1]]; !ok || ns < prev {
+			snap.NsPerOp[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.NsPerOp) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found on stdin")
+	}
+	return snap, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(snap.NsPerOp) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s holds no benchmarks", path)
+	}
+	return &snap, nil
+}
+
+// compare renders a per-benchmark report and returns the regressions.
+func compare(base, cand *Snapshot, maxRegress float64, w io.Writer) []string {
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var bad []string
+	for _, name := range names {
+		b := base.NsPerOp[name]
+		c, ok := cand.NsPerOp[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from candidate", name))
+			continue
+		}
+		delta := c/b - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%+.1f%% > %+.1f%% allowed)",
+				name, b, c, delta*100, maxRegress*100))
+		}
+		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", name, b, c, delta*100, verdict)
+	}
+	return bad
+}
+
+func main() {
+	var (
+		parseMode  = flag.Bool("parse", false, "parse go-test bench text from stdin to JSON on stdout")
+		baseline   = flag.String("baseline", "", "baseline snapshot JSON")
+		candidate  = flag.String("candidate", "", "candidate snapshot JSON")
+		maxRegress = flag.Float64("max-regress", 0.25, "max allowed fractional ns/op regression")
+	)
+	flag.Parse()
+
+	if *parseMode {
+		snap, err := parse(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -parse, or -baseline and -candidate")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if bad := compare(base, cand, *maxRegress, os.Stdout); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s):\n  %s\n", len(bad), strings.Join(bad, "\n  "))
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all benchmarks within budget")
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: rpingmesh
+BenchmarkAnalyzerWindow-8   	     120	   9876543 ns/op	 1234 B/op	  56 allocs/op
+BenchmarkAnalyzerWindow-8   	     130	   9500000 ns/op	 1234 B/op	  56 allocs/op
+BenchmarkPipelineIngest-8   	 2000000	       600.5 ns/op
+BenchmarkPipelineIngest-8   	 2100000	       580.2 ns/op
+PASS
+ok  	rpingmesh	3.21s
+`
+
+func TestParseKeepsMinimumAndStripsSuffix(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.NsPerOp["BenchmarkAnalyzerWindow"]; got != 9500000 {
+		t.Fatalf("AnalyzerWindow min = %v, want 9500000", got)
+	}
+	if got := snap.NsPerOp["BenchmarkPipelineIngest"]; got != 580.2 {
+		t.Fatalf("PipelineIngest min = %v, want 580.2", got)
+	}
+	if _, ok := snap.NsPerOp["BenchmarkAnalyzerWindow-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("parse accepted input with no benchmark lines")
+	}
+}
+
+// TestCompareFailsOnSyntheticRegression is the gate's own acceptance
+// test: a 2x slowdown must be flagged at the 25% threshold.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{
+		"BenchmarkAnalyzerWindow": 1000,
+		"BenchmarkPipelineIngest": 500,
+	}}
+	cand := &Snapshot{NsPerOp: map[string]float64{
+		"BenchmarkAnalyzerWindow": 2000, // 2x — must fail
+		"BenchmarkPipelineIngest": 510,  // +2% — fine
+	}}
+	var out strings.Builder
+	bad := compare(base, cand, 0.25, &out)
+	if len(bad) != 1 {
+		t.Fatalf("want exactly 1 regression, got %d: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0], "BenchmarkAnalyzerWindow") {
+		t.Fatalf("wrong benchmark flagged: %v", bad[0])
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("report missing REGRESSED marker:\n%s", out.String())
+	}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"BenchmarkIncidentFold": 800}}
+	cand := &Snapshot{NsPerOp: map[string]float64{"BenchmarkIncidentFold": 900}} // +12.5%
+	var out strings.Builder
+	if bad := compare(base, cand, 0.25, &out); len(bad) != 0 {
+		t.Fatalf("unexpected regressions: %v", bad)
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	base := &Snapshot{NsPerOp: map[string]float64{"BenchmarkIncidentFold": 800}}
+	cand := &Snapshot{NsPerOp: map[string]float64{"BenchmarkOther": 1}}
+	var out strings.Builder
+	bad := compare(base, cand, 0.25, &out)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", bad)
+	}
+}

@@ -197,9 +197,13 @@ func main() {
 			log.Fatalf("ops console: %v", err)
 		}
 		fmt.Printf("ops console serving http://%s\n", console.Addr())
+		// Machine-parseable form: tooling (make serve-smoke) binds :0 and
+		// reads the actual address from here instead of guessing ports.
+		fmt.Printf("http-addr=%s\n", console.Addr())
 	}
 	fmt.Printf("rpmesh-controller serving %s (%d RNICs across %d hosts; ingest: %d partitions × cap %d, policy %s; analyzer: %d workers, %s windows)\n",
 		srv.Addr(), len(tp.RNICs), len(tp.Hosts), *partitions, *capacity, pol, *workers, *anWindow)
+	fmt.Printf("wire-addr=%s\n", srv.Addr())
 
 	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()

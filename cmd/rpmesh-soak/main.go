@@ -1,0 +1,164 @@
+// Command rpmesh-soak runs seeded chaos scenarios against the full
+// monitoring stack under a wall-clock budget. Each scenario shakes the
+// stack (agent crashes, wire severs, pipeline floods, reader stalls,
+// clock skew — optionally with faultgen network faults underneath) while
+// the invariant suite audits every analysis window. On any violation the
+// driver greedily minimizes the scenario (drop chaos kinds, halve the
+// horizon — per-kind PRNG streams keep surviving timelines stable) and
+// exits non-zero with a copy-pasteable repro line.
+//
+// CI runs `make soak`; `make soak-selftest` proves the suite catches a
+// deliberately broken invariant (-tags chaosbreak).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rpingmesh/internal/chaos"
+	"rpingmesh/internal/pipeline"
+)
+
+func main() {
+	var (
+		scenarios = flag.Int("scenarios", 5, "number of seeded scenarios to run")
+		seed      = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		windows   = flag.Int("windows", 8, "analysis windows of chaos per scenario")
+		budget    = flag.Duration("budget", 100*time.Second, "wall-clock budget incl. minimization")
+		kindsFlag = flag.String("kinds", "all", "chaos kinds (comma-separated; 'all')")
+		polFlag   = flag.String("policy", "", "pipeline overload policy for every scenario (block,drop-oldest,drop-newest); default rotates")
+		wire      = flag.Bool("wire", false, "force the loopback-TCP control plane on every scenario (default alternates)")
+		netFaults = flag.Bool("net-faults", false, "force faultgen network faults on every scenario (default every third)")
+		verbose   = flag.Bool("v", false, "per-scenario detail")
+	)
+	flag.Parse()
+
+	kinds, err := chaos.ParseKinds(*kindsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var fixedPolicy pipeline.Policy
+	if *polFlag != "" {
+		fixedPolicy, err = chaos.ParsePolicy(*polFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	// Flags the user pinned apply to every scenario; the rest rotate so a
+	// default run covers all three overload policies and both transports.
+	pinned := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { pinned[f.Name] = true })
+
+	deadline := time.Now().Add(*budget)
+	start := time.Now()
+	ran := 0
+	for i := 0; i < *scenarios; i++ {
+		if time.Now().After(deadline) {
+			fmt.Printf("budget exhausted after %d/%d scenarios (%.1fs)\n",
+				ran, *scenarios, time.Since(start).Seconds())
+			break
+		}
+		sc := chaos.Scenario{
+			Seed:    *seed + int64(i),
+			Windows: *windows,
+			Kinds:   kinds,
+			// Rotation: i%3 walks block → drop-oldest → drop-newest, so
+			// scenario 1 exercises drop-oldest (what the chaosbreak
+			// selftest sabotages) even in a two-scenario run.
+			Policy:        pipeline.Policy(i % 3),
+			Wire:          i%2 == 1,
+			NetworkFaults: i%3 == 2,
+		}
+		if pinned["policy"] {
+			sc.Policy = fixedPolicy
+		}
+		if pinned["wire"] {
+			sc.Wire = *wire
+		}
+		if pinned["net-faults"] {
+			sc.NetworkFaults = *netFaults
+		}
+
+		res, err := chaos.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %d (seed %d): harness error: %v\n", i, sc.Seed, err)
+			os.Exit(2)
+		}
+		ran++
+		status := "ok"
+		if res.Failed() {
+			status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+		}
+		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
+			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults,
+			len(res.Events), res.Windows,
+			res.Pipeline.Dropped(), res.Pipeline.ResultsShed, res.Pipeline.BlockWaits, status)
+		if *verbose {
+			fmt.Printf("  fingerprint: %s\n", res.Fingerprint)
+		}
+		if res.Failed() {
+			fail(res, deadline)
+		}
+	}
+	fmt.Printf("soak: %d scenarios green in %.1fs\n", ran, time.Since(start).Seconds())
+}
+
+// fail reports the violations, minimizes the scenario within the
+// remaining budget, prints the repro line, and exits non-zero.
+func fail(res *chaos.Result, deadline time.Time) {
+	for _, v := range res.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	min := minimize(res.Scenario, deadline)
+	fmt.Printf("\nminimized repro:\n  rpmesh-soak %s\n", min.ReproArgs())
+	os.Exit(1)
+}
+
+// stillFails re-runs a candidate scenario and reports whether any
+// invariant still trips. Harness errors count as not-reproducing so
+// minimization never walks into a configuration that cannot run.
+func stillFails(sc chaos.Scenario) bool {
+	res, err := chaos.Run(sc)
+	return err == nil && res.Failed()
+}
+
+// minimize greedily shrinks a failing scenario: first drop chaos kinds
+// one at a time (per-kind PRNG streams guarantee the surviving kinds'
+// timelines are unchanged, so removals compose), then halve the horizon
+// while the failure persists. Bounded by the soak budget's deadline.
+func minimize(sc chaos.Scenario, deadline time.Time) chaos.Scenario {
+	best := sc
+	kinds := append([]chaos.Kind(nil), best.Kinds...)
+	for _, drop := range kinds {
+		if time.Now().After(deadline) {
+			return best
+		}
+		var keep []chaos.Kind
+		for _, k := range best.Kinds {
+			if k != drop {
+				keep = append(keep, k)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		cand := best
+		cand.Kinds = keep
+		if stillFails(cand) {
+			best = cand
+		}
+	}
+	for best.Windows > 2 && !time.Now().After(deadline) {
+		cand := best
+		cand.Windows = best.Windows / 2
+		if !stillFails(cand) {
+			break
+		}
+		best = cand
+	}
+	return best
+}

@@ -1,6 +1,7 @@
 package alert
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -438,6 +439,62 @@ func (e *Engine) Incident(id uint64) (Incident, bool) {
 		}
 	}
 	return Incident{}, false
+}
+
+// CheckInvariants audits the engine's internal consistency — the
+// chaos/soak harness calls it every analysis window. It verifies that
+// the active set is keyed correctly (so one (entity, class) can never be
+// open twice), that IDs are unique and below the allocator watermark,
+// that every state is legal for where the incident lives, and that the
+// bounded rings respect their bounds. Any non-nil return is a bug in the
+// engine, not in the fabric.
+func (e *Engine) CheckInvariants() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	seenID := make(map[uint64]bool, len(e.active)+len(e.history))
+	checkID := func(in *incident, where string) error {
+		if in.ID == 0 || in.ID >= e.nextID {
+			return fmt.Errorf("alert: %s incident %d outside allocator range [1, %d)", where, in.ID, e.nextID)
+		}
+		if seenID[in.ID] {
+			return fmt.Errorf("alert: incident ID %d appears twice", in.ID)
+		}
+		seenID[in.ID] = true
+		return nil
+	}
+	for k, in := range e.active {
+		if in.Key != k {
+			return fmt.Errorf("alert: incident %d filed under key %+v but carries key %+v (double-open hazard)", in.ID, k, in.Key)
+		}
+		switch in.State {
+		case StateOpen, StateAcked, StateResolved:
+		default:
+			return fmt.Errorf("alert: active incident %d in invalid state %v", in.ID, in.State)
+		}
+		if err := checkID(in, "active"); err != nil {
+			return err
+		}
+		if len(in.Transitions) > e.cfg.MaxTransitions {
+			return fmt.Errorf("alert: incident %d holds %d transitions, bound %d", in.ID, len(in.Transitions), e.cfg.MaxTransitions)
+		}
+	}
+	for _, in := range e.history {
+		if in.State != StateResolved {
+			return fmt.Errorf("alert: archived incident %d in state %v, want resolved", in.ID, in.State)
+		}
+		if err := checkID(in, "archived"); err != nil {
+			return err
+		}
+		if _, alive := e.active[in.Key]; alive {
+			// Legal: the key recurred after archival and opened a fresh
+			// incident. Only identical IDs would be a bug, covered above.
+			continue
+		}
+	}
+	if len(e.history) > e.cfg.MaxHistory {
+		return fmt.Errorf("alert: history holds %d incidents, bound %d", len(e.history), e.cfg.MaxHistory)
+	}
+	return nil
 }
 
 // Stats snapshots the engine's self-metrics.

@@ -373,6 +373,17 @@ func (a *Analyzer) ObserveServicePerf(v float64) {
 // into the given store (call before the first Tick).
 func (a *Analyzer) SetMetricSink(s MetricSink) { a.sink = s }
 
+// PendingResults reports the probe results uploaded but not yet consumed
+// by a Tick — the Analyzer's ingest backlog. The chaos harness checks it
+// returns to zero after every window close (the pipeline is flushed
+// before Tick, and Tick snapshots everything pending), so a growing value
+// under churn means results are leaking into a window that never closes.
+func (a *Analyzer) PendingResults() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
 // Reports returns the retained window reports (the most recent
 // Config.RetainWindows of them). The returned slice is the caller's; the
 // reports inside share their Problems/PerToR storage with the history.

@@ -23,6 +23,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"sync"
 	"time"
@@ -157,6 +158,31 @@ func New(b Backend, cfg Config) *Server {
 // Handler returns the fully wired (instrumented, timeout-bounded)
 // handler — what tests mount on httptest.Server.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Check performs an in-process request through the full middleware stack
+// (instrumentation + timeout) and returns nil iff the path answered with
+// the wanted status. No socket is involved, so the chaos harness can
+// assert "/healthz always answers 200" every window of a deterministic
+// simulation. An empty path checks /healthz.
+func (s *Server) Check(path string, wantStatus int) error {
+	if path == "" {
+		path = "/healthz"
+	}
+	if wantStatus == 0 {
+		wantStatus = http.StatusOK
+	}
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.handler.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		body := rec.Body.String()
+		if len(body) > 200 {
+			body = body[:200]
+		}
+		return fmt.Errorf("api: GET %s answered %d, want %d: %s", path, rec.Code, wantStatus, body)
+	}
+	return nil
+}
 
 // Start listens on Config.Addr and serves in a background goroutine.
 func (s *Server) Start() error {

@@ -1,0 +1,43 @@
+//go:build chaosbreak
+
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"rpingmesh/internal/pipeline"
+)
+
+// TestBrokenAccountingIsCaught is the invariant suite's self-test: built
+// with -tags chaosbreak, the pipeline deliberately stops counting
+// DropOldest sheds (internal/pipeline/accounting_break.go), and a flood
+// scenario under the drop-oldest policy MUST surface a
+// pipeline-accounting violation with a repro line. If this test fails,
+// the soak harness has lost its teeth. Run via `make soak-selftest`.
+func TestBrokenAccountingIsCaught(t *testing.T) {
+	res, err := Run(Scenario{
+		Seed: 11, Windows: 6,
+		Kinds:  []Kind{PipelineFlood},
+		Policy: pipeline.DropOldest,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatal("chaosbreak build violated no invariant — the suite cannot detect broken drop accounting")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == "pipeline-accounting" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("expected a pipeline-accounting violation, got: %v", res.Violations)
+	}
+	if line := res.Scenario.ReproArgs(); !strings.Contains(line, "-seed 11") {
+		t.Fatalf("repro line %q does not pin the seed", line)
+	}
+}

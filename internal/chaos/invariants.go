@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"rpingmesh/internal/analyzer"
+)
+
+// onWindow is the invariant sweep, run from core.Cluster.OnWindow after
+// every analysis window has closed and folded into the incident engine.
+// Each checker is cheap enough to run every window of every scenario;
+// ReaderStall additionally turns the API checks into heavy queries.
+func (h *harness) onWindow(rep analyzer.WindowReport) {
+	h.checkWindowSeq(rep)
+	h.checkPipelineAccounting(rep.Index)
+	h.checkAnalyzerBacklog(rep.Index)
+	h.checkAlertConsistency(rep.Index)
+	h.checkTSDBSeams(rep)
+	h.checkAPIHealth(rep.Index)
+}
+
+// checkWindowSeq: window sequence numbers are gapless and monotonic —
+// index k is the k-th Tick ever run, no window is skipped or repeated no
+// matter how hard the stack is being shaken.
+func (h *harness) checkWindowSeq(rep analyzer.WindowReport) {
+	if rep.Index != h.lastIndex+1 {
+		h.violate("window-seq", rep.Index,
+			"window index %d follows %d (want %d)", rep.Index, h.lastIndex, h.lastIndex+1)
+	}
+	if h.lastIndex < rep.Index {
+		h.lastIndex = rep.Index
+	}
+}
+
+// checkPipelineAccounting: the ingest tier's conservation law holds
+// exactly — per partition, enqueued = dequeued + dropped-oldest + depth —
+// and the harness's own tap agrees with the pipeline's delivery
+// counters. This is the invariant the chaosbreak build tag sabotages.
+func (h *harness) checkPipelineAccounting(win int) {
+	st := h.c.Ingest.Stats()
+	if err := st.AccountingError(); err != nil {
+		h.violate("pipeline-accounting", win, "%v", err)
+	}
+	if h.tapBatches != st.Delivered {
+		h.violate("pipeline-accounting", win,
+			"tap saw %d batches, pipeline claims %d delivered", h.tapBatches, st.Delivered)
+	}
+	if h.tapResults != st.ResultsDelivered {
+		h.violate("pipeline-accounting", win,
+			"tap saw %d results, pipeline claims %d delivered", h.tapResults, st.ResultsDelivered)
+	}
+}
+
+// checkAnalyzerBacklog: windows close on complete data. The cluster
+// drains the ingest tier before every Tick, so by the time this hook
+// runs the analyzer must hold zero undigested results.
+func (h *harness) checkAnalyzerBacklog(win int) {
+	if n := h.c.Analyzer.PendingResults(); n != 0 {
+		h.violate("analyzer-backlog", win,
+			"%d results still pending after window closed", n)
+	}
+}
+
+// checkAlertConsistency: the incident engine's structural audit — at
+// most one active incident per (entity, class), legal states, unique
+// IDs, bounded history.
+func (h *harness) checkAlertConsistency(win int) {
+	if err := h.c.Alerts.CheckInvariants(); err != nil {
+		h.violate("alert-consistency", win, "%v", err)
+	}
+}
+
+// checkTSDBSeams: a full-horizon Range over every series must read
+// cleanly across the raw→window→coarse tier seams — timestamps
+// non-decreasing and in-bounds, the newest point agreeing with Latest,
+// and Quantile answering whenever Range is non-empty.
+func (h *harness) checkTSDBSeams(rep analyzer.WindowReport) {
+	win := rep.Index
+	for _, name := range h.c.TSDB.Series() {
+		pts := h.c.TSDB.Range(name, 0, rep.End)
+		for i, p := range pts {
+			if p.T < 0 || p.T > rep.End {
+				h.violate("tsdb-seams", win, "series %q point %d at t=%d outside [0,%d]",
+					name, i, int64(p.T), int64(rep.End))
+				break
+			}
+			if i > 0 && p.T < pts[i-1].T {
+				h.violate("tsdb-seams", win, "series %q timestamps regress at point %d (%d < %d)",
+					name, i, int64(p.T), int64(pts[i-1].T))
+				break
+			}
+		}
+		if last, ok := h.c.TSDB.Latest(name); ok {
+			if len(pts) == 0 {
+				h.violate("tsdb-seams", win, "series %q has Latest but empty full-horizon Range", name)
+			} else if tail := pts[len(pts)-1]; tail != last {
+				h.violate("tsdb-seams", win,
+					"series %q Range tail (t=%d v=%g) disagrees with Latest (t=%d v=%g)",
+					name, int64(tail.T), tail.V, int64(last.T), last.V)
+			}
+		}
+		if len(pts) > 0 {
+			if _, ok := h.c.TSDB.Quantile(name, 0, rep.End, 0.5); !ok {
+				h.violate("tsdb-seams", win, "series %q Quantile not ok over non-empty range", name)
+			}
+		}
+	}
+}
+
+// checkAPIHealth: the ops console answers through its full middleware
+// stack every window — /healthz is the paper's liveness contract, and a
+// read of the incident list must never 5xx. Under ReaderStall the sweep
+// widens to the heavy endpoints so stalled readers and the timeout
+// middleware get exercised while chaos is live.
+func (h *harness) checkAPIHealth(win int) {
+	paths := []string{"/healthz", "/api/incidents"}
+	if h.stallActive {
+		paths = append(paths,
+			"/api/windows/latest", "/api/alerts/stats",
+			"/api/pipeline/stats", "/api/series", "/api/metrics")
+	}
+	for _, p := range paths {
+		if err := h.console.Check(p, 0); err != nil {
+			h.violate("api-health", win, "%v", err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"rpingmesh/internal/api"
+	"rpingmesh/internal/core"
+	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/pipeline"
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+	"rpingmesh/internal/wire"
+)
+
+// maxViolations caps how many violations one scenario records — the
+// first breach is the interesting one; the rest are usually cascade.
+const maxViolations = 16
+
+// harness is one scenario's live state: the cluster under test plus the
+// bookkeeping every action and invariant reads.
+type harness struct {
+	sc     *Scenario
+	c      *core.Cluster
+	window sim.Time
+
+	// Ops-console front door, never Started — invariants drive it
+	// in-process through the full middleware stack.
+	console *api.Server
+
+	// Wire transport (Scenario.Wire only).
+	srv *wire.Server
+	cli *wire.Client
+
+	inj *faultgen.Injector
+
+	// Per-kind target-selection PRNGs, streams disjoint from the
+	// schedule generator's.
+	targets map[Kind]*rand.Rand
+
+	crashed map[topo.HostID]bool
+
+	stallActive bool
+	floodSeq    uint64
+
+	// Conservation tap: counts everything the pipeline delivered
+	// downstream, independently of the pipeline's own accounting.
+	tapBatches, tapResults uint64
+
+	lastIndex  int
+	violations []Violation
+
+	goroutineBase, fdBase int
+}
+
+// violate records one invariant breach (capped).
+func (h *harness) violate(name string, window int, format string, args ...any) {
+	if len(h.violations) >= maxViolations {
+		return
+	}
+	h.violations = append(h.violations, Violation{
+		Invariant: name, Window: window, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// build wires the cluster, console, optional wire transport, and chaos
+// bookkeeping for one scenario.
+func build(sc *Scenario) (*harness, error) {
+	tp, err := topo.BuildClos(topo.ClosConfig{
+		Pods: 1, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2,
+		HostsPerToR: sc.HostsPerToR, RNICsPerHost: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: topology: %w", err)
+	}
+	h := &harness{
+		sc:        sc,
+		targets:   make(map[Kind]*rand.Rand),
+		crashed:   make(map[topo.HostID]bool),
+		lastIndex: -1,
+	}
+	for _, k := range AllKinds() {
+		// Offset by NumKinds so target picks never replay the schedule
+		// generator's stream.
+		h.targets[k] = rand.New(rand.NewSource(kindSeed(sc.Seed, k+NumKinds)))
+	}
+
+	ccfg := core.Config{
+		Topology: tp,
+		Seed:     sc.Seed,
+		Pipeline: pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
+	}
+	if sc.Wire {
+		ccfg.WrapController = func(local proto.Controller) proto.Controller {
+			h.srv, err = wire.Listen("127.0.0.1:0", local, nil)
+			if err != nil {
+				return local // surfaced below via h.srv == nil
+			}
+			h.cli, err = wire.Dial(h.srv.Addr())
+			if err != nil {
+				return local
+			}
+			return h.cli
+		}
+	}
+	h.c, err = core.NewCluster(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: cluster: %w", err)
+	}
+	if sc.Wire && (h.srv == nil || h.cli == nil) {
+		h.close()
+		return nil, fmt.Errorf("chaos: wire transport failed to come up")
+	}
+	h.window = h.c.Analyzer.Window()
+
+	h.c.TapUploads(func(b proto.UploadBatch) {
+		h.tapBatches++
+		h.tapResults += uint64(len(b.Results))
+	})
+
+	// The console is exercised in-process; the slow-consumer notifier is
+	// the ReaderStall payload (it runs inside the alert engine's critical
+	// section, exactly like a sluggish pager integration).
+	h.console = api.New(api.Backend{
+		Windows: h.c.Analyzer, TSDB: h.c.TSDB, Pipeline: h.c.Ingest, Alerts: h.c.Alerts,
+	}, api.Config{})
+	h.c.Alerts.AddNotifier(h.stallNotifier())
+
+	if sc.NetworkFaults {
+		h.inj = faultgen.NewInjector(h.c, sc.Seed+7)
+	}
+	return h, nil
+}
+
+// close tears down the real-OS resources (wire sockets); the simulated
+// cluster needs no teardown.
+func (h *harness) close() {
+	if h.cli != nil {
+		_ = h.cli.Close()
+		h.cli = nil
+	}
+	if h.srv != nil {
+		_ = h.srv.Close()
+		h.srv = nil
+	}
+}
+
+// countFDs reports open file descriptors (Linux; -1 elsewhere).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// Run executes one scenario end to end and reports every invariant
+// violation. The error return covers harness failures (topology, wire
+// bring-up) only — invariant breaches land in Result.Violations.
+func Run(sc Scenario) (*Result, error) {
+	sc.setDefaults()
+	h, err := build(&sc)
+	if err != nil {
+		return nil, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			h.close()
+		}
+	}()
+
+	// Leak baselines, captured after the wire transport is up so its
+	// accept loop and session goroutines are part of the baseline.
+	h.goroutineBase = runtime.NumGoroutine()
+	h.fdBase = countFDs()
+
+	h.c.OnWindow(h.onWindow)
+	h.c.StartAgents()
+
+	events := generate(&sc, h.window)
+	horizon := sim.Time(sc.Windows) * h.window
+	for _, ev := range events {
+		h.schedule(ev, horizon)
+	}
+	if sc.NetworkFaults {
+		h.playNetworkFaults(horizon)
+	}
+
+	h.c.Run(horizon)
+	h.recover()
+	h.c.Run(sim.Time(sc.RecoveryWindows) * h.window)
+	h.checkRecovered()
+
+	fingerprint := h.fingerprint()
+	pstats := h.c.Ingest.Stats()
+
+	// Leak checks run on a fully torn-down harness: sockets closed,
+	// session goroutines drained.
+	h.close()
+	closed = true
+	h.checkLeaks()
+
+	return &Result{
+		Scenario:    sc,
+		Events:      events,
+		Windows:     h.lastIndex + 1,
+		Violations:  h.violations,
+		Pipeline:    pstats,
+		Fingerprint: fingerprint,
+	}, nil
+}
+
+// playNetworkFaults composes a faultgen schedule underneath the chaos:
+// the fabric misbehaves while the monitoring stack is being broken.
+func (h *harness) playNetworkFaults(horizon sim.Time) {
+	// Rates sized for a few events per run over a minutes-scale horizon.
+	perHour := float64(sim.Hour) / float64(horizon) // ≈1 event per cause
+	sched := h.inj.GenerateSchedule(faultgen.ScheduleConfig{
+		Duration: horizon,
+		EventsPerHour: map[faultgen.Cause]float64{
+			faultgen.FlappingPort:      perHour,
+			faultgen.PacketCorruption:  perHour,
+			faultgen.RNICDown:          perHour * 2,
+			faultgen.CPUOverload:       perHour,
+			faultgen.UnevenLoadBalance: perHour,
+		},
+		MeanFaultDuration: 2 * h.window,
+	})
+	h.inj.Play(sched)
+}
+
+// recover unwinds anything still broken at the horizon so the recovery
+// windows measure a system that is allowed to heal: restart crashed
+// agents, clear lingering network faults. Scheduled unwinds are capped
+// at the horizon, so this is a safety net, not the primary path.
+func (h *harness) recover() {
+	hosts := make([]topo.HostID, 0, len(h.crashed))
+	for hid, down := range h.crashed {
+		if down {
+			hosts = append(hosts, hid)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, hid := range hosts {
+		h.restartAgent(hid)
+	}
+	if h.inj != nil {
+		h.inj.ClearAll()
+	}
+}
+
+// checkRecovered asserts the end-of-run health the soak story promises:
+// every agent back up, the console still answering, the final window
+// analyzed on schedule.
+func (h *harness) checkRecovered() {
+	win := h.lastIndex
+	for hid, down := range h.crashed {
+		if down {
+			h.violate("recovery", win, "agent %s still down after recovery phase", hid)
+		}
+	}
+	if err := h.console.Check("/healthz", 0); err != nil {
+		h.violate("recovery", win, "post-recovery healthz: %v", err)
+	}
+	want := h.sc.Windows + h.sc.RecoveryWindows
+	if got := h.c.Analyzer.TotalWindows(); got != want {
+		h.violate("recovery", win, "analyzer ran %d windows, want %d", got, want)
+	}
+}
+
+// checkLeaks compares goroutine and FD counts against the baselines.
+// Goroutines get a settle loop: wire session handlers need a moment to
+// observe their closed sockets.
+func (h *harness) checkLeaks() {
+	const slack = 2
+	ok := false
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= h.goroutineBase+slack {
+			ok = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		h.violate("goroutine-leak", h.lastIndex, "goroutines %d > baseline %d+%d after teardown",
+			runtime.NumGoroutine(), h.goroutineBase, slack)
+	}
+	if h.fdBase >= 0 {
+		if fds := countFDs(); fds > h.fdBase+slack {
+			h.violate("fd-leak", h.lastIndex, "fds %d > baseline %d+%d after teardown",
+				fds, h.fdBase, slack)
+		}
+	}
+}
+
+// fingerprint folds the run's observable outcomes into one line; two
+// runs of the same Scenario must match bit for bit.
+func (h *harness) fingerprint() string {
+	ps := h.c.Ingest.Stats()
+	as := h.c.Alerts.Stats()
+	rep, _ := h.c.Analyzer.LastReport()
+	return fmt.Sprintf("windows=%d pipe[in=%d out=%d del=%d drop=%d shed=%d waits=%d] alert[open=%d reopen=%d resolve=%d supp=%d] last[idx=%d probes=%d problems=%d] tap[b=%d r=%d] viol=%d",
+		h.c.Analyzer.TotalWindows(),
+		ps.Enqueued, ps.Dequeued, ps.Delivered, ps.Dropped(), ps.ResultsShed, ps.BlockWaits,
+		as.Opened, as.Reopened, as.Resolved, as.Suppressed,
+		rep.Index, rep.Cluster.Probes, len(rep.Problems),
+		h.tapBatches, h.tapResults, len(h.violations))
+}

@@ -103,8 +103,9 @@ type Cluster struct {
 	// API and notifiers hang off it.
 	Alerts *alert.Engine
 
-	cfg  Config
-	taps []func(proto.UploadBatch)
+	cfg         Config
+	taps        []func(proto.UploadBatch)
+	windowHooks []func(analyzer.WindowReport)
 }
 
 // Upload implements proto.UploadSink by enqueueing into the ingest
@@ -123,6 +124,15 @@ func (c *Cluster) deliver(b proto.UploadBatch) {
 // TapUploads registers an observer for every batch the ingest tier
 // delivers (coalesced, in upload order).
 func (c *Cluster) TapUploads(fn func(proto.UploadBatch)) { c.taps = append(c.taps, fn) }
+
+// OnWindow registers an observer invoked after each analysis window has
+// closed AND been folded into the incident engine — the seam the
+// chaos/soak harness hangs its invariant checkers on. Register before
+// the simulation runs; hooks run on the engine goroutine in registration
+// order.
+func (c *Cluster) OnWindow(fn func(analyzer.WindowReport)) {
+	c.windowHooks = append(c.windowHooks, fn)
+}
 
 // NewCluster builds (but does not start) a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
@@ -212,7 +222,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	// tuple rotation.
 	eng.Every(an.Window(), an.Window(), func() {
 		c.Ingest.DrainAll()
-		c.Alerts.Observe(an.Tick())
+		rep := an.Tick()
+		c.Alerts.Observe(rep)
+		for _, fn := range c.windowHooks {
+			fn(rep)
+		}
 	})
 	eng.Every(cfg.RotateInterval, cfg.RotateInterval, ctrl.RotateInterToR)
 

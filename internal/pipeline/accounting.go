@@ -1,0 +1,10 @@
+//go:build !chaosbreak
+
+package pipeline
+
+// dropOldestInc is the per-shed-batch increment of the DropOldest drop
+// counter. The chaosbreak build tag zeroes it to deliberately break the
+// drop-accounting conservation law, proving the soak harness's
+// pipeline-accounting invariant actually catches the breakage (see
+// `make soak-selftest`).
+const dropOldestInc = 1

@@ -1,0 +1,9 @@
+//go:build chaosbreak
+
+package pipeline
+
+// dropOldestInc deliberately skips the DropOldest accounting under the
+// chaosbreak tag: batches are shed but never counted, violating the
+// conservation law Stats.AccountingError checks. Built only by
+// `make soak-selftest` to prove the invariant suite has teeth.
+const dropOldestInc = 0

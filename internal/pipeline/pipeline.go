@@ -167,6 +167,29 @@ type Stats struct {
 // Dropped is the total batches shed under either drop policy.
 func (s Stats) Dropped() uint64 { return s.DroppedOldest + s.DroppedNewest }
 
+// AccountingError verifies the pipeline's conservation law: every batch
+// admitted to a partition is either still queued, dequeued, or shed under
+// DropOldest — nothing vanishes, nothing is double-counted. (DropNewest
+// rejections never enter a queue, so they sit outside the identity.) The
+// chaos harness evaluates this every analysis window; any non-nil return
+// is an invariant violation, exact to the batch.
+func (s Stats) AccountingError() error {
+	for i, ps := range s.Partitions {
+		want := ps.Dequeued + ps.DroppedOldest + uint64(ps.Depth)
+		if ps.Enqueued != want {
+			return fmt.Errorf("partition %d: enqueued=%d != dequeued=%d + dropped_oldest=%d + depth=%d",
+				i, ps.Enqueued, ps.Dequeued, ps.DroppedOldest, ps.Depth)
+		}
+		if ps.Depth < 0 || ps.Depth > ps.MaxDepth {
+			return fmt.Errorf("partition %d: depth=%d outside [0, max_depth=%d]", i, ps.Depth, ps.MaxDepth)
+		}
+	}
+	if s.Delivered > s.Dequeued {
+		return fmt.Errorf("delivered=%d > dequeued=%d (coalescing can only shrink)", s.Delivered, s.Dequeued)
+	}
+	return nil
+}
+
 // String renders the one-line self-metrics summary the daemons print.
 func (s Stats) String() string {
 	return fmt.Sprintf("in=%d out=%d delivered=%d dropped(old=%d new=%d) shed_results=%d block_waits=%d max_lag=%s",
@@ -258,7 +281,7 @@ func (p *Pipeline) Upload(b proto.UploadBatch) {
 			shed := pt.items[0]
 			copy(pt.items, pt.items[1:])
 			pt.items = pt.items[:len(pt.items)-1]
-			pt.droppedOldest++
+			pt.droppedOldest += dropOldestInc
 			pt.resultsShed += uint64(len(shed.batch.Results))
 		case DropNewest:
 			pt.droppedNewest++

@@ -54,6 +54,11 @@ func (h *Host) Devices() []*Device { return h.devices }
 // clock; the probe algebra must not depend on their relationship).
 func (h *Host) ReadClock() sim.Time { return h.clock.Read(h.eng.Now()) }
 
+// SetClock replaces the host CPU clock mid-run (chaos injection: an NTP
+// step or a VM migration re-skews the clock under the monitoring stack,
+// which must never mix it with any device clock).
+func (h *Host) SetClock(c Clock) { h.clock = c }
+
 // SetLoad sets the CPU load in [0,1]. Values are clamped.
 func (h *Host) SetLoad(load float64) {
 	if load < 0 {

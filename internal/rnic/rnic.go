@@ -218,6 +218,10 @@ func (d *Device) Host() topo.HostID { return d.cfg.Host }
 // stamped into CQEs.
 func (d *Device) ReadClock() sim.Time { return d.cfg.Clock.Read(d.eng.Now()) }
 
+// SetClock replaces the device clock mid-run (chaos injection: firmware
+// clock resets re-skew CQE timestamps while probes are in flight).
+func (d *Device) SetClock(c Clock) { d.cfg.Clock = c }
+
 // Up reports whether the port is administratively and physically up.
 func (d *Device) Up() bool { return d.up }
 

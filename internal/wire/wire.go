@@ -145,6 +145,28 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ConnCount reports the live connection count (observability for the
+// chaos harness and tests).
+func (s *Server) ConnCount() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+// DisconnectAll severs every live connection without stopping the
+// listener — the chaos harness's wire fault. Clients are expected to
+// survive it: Client redials once per request, so the next round trip
+// re-establishes the session (§4.1's Controller-restart story).
+func (s *Server) DisconnectAll() int {
+	s.connMu.Lock()
+	n := len(s.conns)
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
+	return n
+}
+
 func (s *Server) acceptLoop() {
 	defer s.connWG.Done()
 	for {

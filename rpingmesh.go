@@ -25,6 +25,7 @@ import (
 	"rpingmesh/internal/alert"
 	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/api"
+	"rpingmesh/internal/chaos"
 	"rpingmesh/internal/core"
 	"rpingmesh/internal/experiments"
 	"rpingmesh/internal/faultgen"
@@ -237,6 +238,28 @@ func BuildRailOptimized(cfg RailConfig) (*Topology, error) { return topo.BuildRa
 
 // NewInjector builds a fault injector over a cluster.
 func NewInjector(c *Cluster, seed int64) *Injector { return faultgen.NewInjector(c, seed) }
+
+// Chaos/soak harness: the monitoring stack itself as the system under
+// test. A ChaosScenario shakes a deterministic deployment (agent
+// crashes, wire severs, pipeline floods, reader stalls, clock skew)
+// while an invariant suite audits every analysis window; cmd/rpmesh-soak
+// drives fleets of scenarios in CI.
+type (
+	// ChaosScenario configures one seeded chaos run; the Seed alone
+	// determines the outcome.
+	ChaosScenario = chaos.Scenario
+	// ChaosResult is one scenario's outcome, including every invariant
+	// violation and a determinism fingerprint.
+	ChaosResult = chaos.Result
+	// ChaosViolation is one invariant breach pinned to the analysis
+	// window that exposed it.
+	ChaosViolation = chaos.Violation
+	// ChaosKind enumerates the monitoring-stack fault actions.
+	ChaosKind = chaos.Kind
+)
+
+// RunChaos executes one seeded chaos scenario end to end.
+func RunChaos(sc ChaosScenario) (*ChaosResult, error) { return chaos.Run(sc) }
 
 // Watchdog is the §7.5 counter-based early-warning extension.
 type Watchdog = watchdog.Watchdog
