@@ -67,8 +67,9 @@ soak-selftest:
 # --- benchmark regression gate -----------------------------------------
 
 # Key benchmarks, each pinned by the regression gate: analyzer window
-# analysis (serial + sharded), incident folding, pipeline ingest.
-BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest)$$
+# analysis (serial + sharded), incident folding, pipeline ingest, and
+# the pod-sharded simulation engine (serial vs 2/4 shards).
+BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest|BenchmarkEngineSharded)$$
 BENCH_PKGS    = . ./internal/analyzer ./internal/alert
 
 bench-json:
@@ -96,8 +97,10 @@ bench-check: bench-json
 determinism:
 	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestGoldenEquivalence|TestIncidentTimelineGolden|TestIncidentTimelineDeterministic' .
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestGoldenEquivalence|TestIncidentTimelineGolden|TestIncidentTimelineDeterministic' .
-	GOMAXPROCS=1 $(GO) test -count=2 ./internal/chaos -run TestDeterminism
-	GOMAXPROCS=8 $(GO) test -count=2 ./internal/chaos -run TestDeterminism
+	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestShardedGoldenEquivalence' .
+	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestShardedGoldenEquivalence' .
+	GOMAXPROCS=1 $(GO) test -count=2 ./internal/chaos -run 'TestDeterminism|TestShardedScenario'
+	GOMAXPROCS=8 $(GO) test -count=2 ./internal/chaos -run 'TestDeterminism|TestShardedScenario'
 
 # --- static analysis ---------------------------------------------------
 

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rpingmesh/internal/chaos"
@@ -23,17 +25,49 @@ import (
 
 func main() {
 	var (
-		scenarios = flag.Int("scenarios", 5, "number of seeded scenarios to run")
-		seed      = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
-		windows   = flag.Int("windows", 8, "analysis windows of chaos per scenario")
-		budget    = flag.Duration("budget", 100*time.Second, "wall-clock budget incl. minimization")
-		kindsFlag = flag.String("kinds", "all", "chaos kinds (comma-separated; 'all')")
-		polFlag   = flag.String("policy", "", "pipeline overload policy for every scenario (block,drop-oldest,drop-newest); default rotates")
-		wire      = flag.Bool("wire", false, "force the loopback-TCP control plane on every scenario (default alternates)")
-		netFaults = flag.Bool("net-faults", false, "force faultgen network faults on every scenario (default every third)")
-		verbose   = flag.Bool("v", false, "per-scenario detail")
+		scenarios  = flag.Int("scenarios", 5, "number of seeded scenarios to run")
+		seed       = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		windows    = flag.Int("windows", 8, "analysis windows of chaos per scenario")
+		budget     = flag.Duration("budget", 100*time.Second, "wall-clock budget incl. minimization")
+		kindsFlag  = flag.String("kinds", "all", "chaos kinds (comma-separated; 'all')")
+		polFlag    = flag.String("policy", "", "pipeline overload policy for every scenario (block,drop-oldest,drop-newest); default rotates")
+		wire       = flag.Bool("wire", false, "force the loopback-TCP control plane on every scenario (default alternates)")
+		netFaults  = flag.Bool("net-faults", false, "force faultgen network faults on every scenario (default every third)")
+		shards     = flag.Int("shards", 0, "force the pod-sharded parallel engine with N shards on every scenario (default alternates serial and 2-shard)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		verbose    = flag.Bool("v", false, "per-scenario detail")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// fail() exits via os.Exit, which skips defers — flushProfiles
+		// runs on both the green and the violation path.
+		prev := flushProfiles
+		flushProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			prev()
+		}
+	}
+	if *memProfile != "" {
+		prev := flushProfiles
+		path := *memProfile
+		flushProfiles = func() {
+			writeHeapProfile(path)
+			prev()
+		}
+	}
+	defer flushProfiles()
 
 	kinds, err := chaos.ParseKinds(*kindsFlag)
 	if err != nil {
@@ -73,6 +107,11 @@ func main() {
 			Wire:          i%2 == 1,
 			NetworkFaults: i%3 == 2,
 		}
+		// Odd scenarios run the pod-sharded parallel engine so the soak
+		// continuously exercises cross-shard scheduling under chaos.
+		if i%2 == 1 {
+			sc.Shards = 2
+		}
 		if pinned["policy"] {
 			sc.Policy = fixedPolicy
 		}
@@ -81,6 +120,9 @@ func main() {
 		}
 		if pinned["net-faults"] {
 			sc.NetworkFaults = *netFaults
+		}
+		if pinned["shards"] {
+			sc.Shards = *shards
 		}
 
 		res, err := chaos.Run(sc)
@@ -93,8 +135,8 @@ func main() {
 		if res.Failed() {
 			status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
 		}
-		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
-			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults,
+		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
+			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards,
 			len(res.Events), res.Windows,
 			res.Pipeline.Dropped(), res.Pipeline.ResultsShed, res.Pipeline.BlockWaits, status)
 		if *verbose {
@@ -107,6 +149,25 @@ func main() {
 	fmt.Printf("soak: %d scenarios green in %.1fs\n", ran, time.Since(start).Seconds())
 }
 
+// flushProfiles stops/writes any requested pprof profiles; main chains
+// the real work in. A package var because fail() leaves via os.Exit.
+var flushProfiles = func() {}
+
+// writeHeapProfile snapshots the heap to path (after a GC so the
+// profile reflects live objects, not garbage awaiting collection).
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
 // fail reports the violations, minimizes the scenario within the
 // remaining budget, prints the repro line, and exits non-zero.
 func fail(res *chaos.Result, deadline time.Time) {
@@ -115,6 +176,7 @@ func fail(res *chaos.Result, deadline time.Time) {
 	}
 	min := minimize(res.Scenario, deadline)
 	fmt.Printf("\nminimized repro:\n  rpmesh-soak %s\n", min.ReproArgs())
+	flushProfiles()
 	os.Exit(1)
 }
 

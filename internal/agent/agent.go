@@ -112,6 +112,11 @@ type Agent struct {
 	inflight map[uint64]*inflightProbe
 	pending  map[uint64]*pendingResponse // responder state keyed by WRID
 
+	// probePool recycles inflightProbe records. At thousands of probes per
+	// second per host they are the Agent's hottest allocation; recycling
+	// keeps the per-shard heaps allocation-quiet in the parallel engine.
+	probePool []*inflightProbe
+
 	results []proto.ProbeResult
 	paths   map[pathKey]*tracedPath
 
@@ -189,6 +194,25 @@ type inflightProbe struct {
 	have3  bool
 
 	timeout sim.Handle
+}
+
+// acquireProbe takes a zeroed record from the pool (or allocates one).
+func (a *Agent) acquireProbe() *inflightProbe {
+	if n := len(a.probePool); n > 0 {
+		inf := a.probePool[n-1]
+		a.probePool[n-1] = nil
+		a.probePool = a.probePool[:n-1]
+		return inf
+	}
+	return &inflightProbe{}
+}
+
+// releaseProbe recycles a finished probe record. Callers must have removed
+// it from a.inflight and neutralized its timeout first; late CQE handlers
+// look probes up by seq, so they can never reach a recycled record.
+func (a *Agent) releaseProbe(inf *inflightProbe) {
+	*inf = inflightProbe{}
+	a.probePool = append(a.probePool, inf)
 }
 
 type pendingResponse struct {
@@ -308,6 +332,7 @@ func (a *Agent) Stop() {
 	}
 	for _, inf := range a.inflight {
 		inf.timeout.Cancel()
+		a.releaseProbe(inf)
 	}
 	a.inflight = make(map[uint64]*inflightProbe)
 	a.rnics = make(map[topo.DeviceID]*rnicState)
@@ -411,10 +436,9 @@ func (a *Agent) probe(rs *rnicState, kind proto.ProbeKind, tgt proto.PingTarget)
 	a.seq++
 	seq := a.seq
 	tuple := ecmp.RoCETuple(rs.dev.IP(), tgt.Dst.IP, tgt.SrcPort)
-	inf := &inflightProbe{
-		seq: seq, kind: kind, rs: rs, tgt: tgt, tuple: tuple,
-		t1: a.host.ReadClock(), // ①
-	}
+	inf := a.acquireProbe()
+	inf.seq, inf.kind, inf.rs, inf.tgt, inf.tuple = seq, kind, rs, tgt, tuple
+	inf.t1 = a.host.ReadClock() // ①
 	payload := encodeProbe(seq)
 	if a.cfg.OneWayIntraHost && tgt.Dst.Host == a.host.ID() {
 		if _, local := a.rnics[tgt.Dst.Dev]; local {
@@ -492,7 +516,7 @@ func (a *Agent) traceOne(key pathKey, from topo.DeviceID) {
 		return
 	}
 	a.Stats.Traces++
-	res, err := a.tracer.TracePath(from, key.tuple)
+	res, err := a.tracer.TracePath(a.host.ID(), from, key.tuple)
 	if err != nil {
 		return
 	}
@@ -586,8 +610,14 @@ func (a *Agent) onRecvCQE(rs *rnicState, c rnic.CQE) {
 		inf.t5 = c.Timestamp // ⑤
 		inf.have5 = true
 		// ⑥ is an application timestamp: it exists only after the Agent
-		// process actually handles the completion.
+		// process actually handles the completion. Re-look the probe up by
+		// seq when it fires: the probe may have timed out (and its record
+		// been recycled) while the application was waking up.
 		a.eng.After(a.appDelay(), func() {
+			inf, ok := a.inflight[seq]
+			if !ok {
+				return
+			}
 			inf.t6 = a.host.ReadClock()
 			inf.have6 = true
 			a.maybeFinish(inf)
@@ -656,6 +686,7 @@ func (a *Agent) maybeFinishOneWay(_ *rnicState, inf *inflightProbe) {
 		// aggregation: the round-trip equivalent.
 		r.NetworkRTT = 2 * oneWay
 	}))
+	a.releaseProbe(inf)
 }
 
 func (a *Agent) maybeFinish(inf *inflightProbe) {
@@ -675,6 +706,7 @@ func (a *Agent) maybeFinish(inf *inflightProbe) {
 		r.ProberDelay = prober
 		r.ResponderDelay = inf.resp
 	}))
+	a.releaseProbe(inf)
 }
 
 func (a *Agent) finishTimeout(inf *inflightProbe) {
@@ -682,6 +714,7 @@ func (a *Agent) finishTimeout(inf *inflightProbe) {
 	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
 		r.Timeout = true
 	}))
+	a.releaseProbe(inf)
 }
 
 func (a *Agent) baseResult(inf *inflightProbe, fill func(*proto.ProbeResult)) proto.ProbeResult {

@@ -180,6 +180,11 @@ type Scenario struct {
 	NetworkFaults bool
 	// HostsPerToR sizes the topology (default 2; 1 pod × 2 ToRs).
 	HostsPerToR int
+	// Shards > 1 builds a Shards-pod topology and runs the cluster on the
+	// pod-sharded parallel engine (core.Config.Shards). Results stay a
+	// pure function of the scenario; sharding is exercised for races and
+	// determinism, not different behavior.
+	Shards int
 }
 
 func (sc *Scenario) setDefaults() {
@@ -220,6 +225,9 @@ func (sc Scenario) ReproArgs() string {
 	}
 	if sc.NetworkFaults {
 		args += " -net-faults"
+	}
+	if sc.Shards > 1 {
+		args += fmt.Sprintf(" -shards %d", sc.Shards)
 	}
 	return args
 }

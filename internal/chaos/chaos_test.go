@@ -72,6 +72,20 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestShardedScenario: the full chaos gauntlet on the pod-sharded
+// parallel engine stays green, and a replay of the same sharded
+// Scenario is bit-identical — chaos actions and the invariant suite are
+// deterministic regardless of how many pods run concurrently.
+func TestShardedScenario(t *testing.T) {
+	sc := Scenario{Seed: 5, Windows: 6, Shards: 2}
+	a := mustRun(t, sc)
+	assertGreen(t, a)
+	b := mustRun(t, sc)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("sharded fingerprints diverge:\n  a: %s\n  b: %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
 // TestWireScenario: chaos over the real loopback-TCP control plane,
 // including WireSever, stays green — clients redial severed sessions
 // transparently.

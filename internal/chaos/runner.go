@@ -71,8 +71,13 @@ func (h *harness) violate(name string, window int, format string, args ...any) {
 // build wires the cluster, console, optional wire transport, and chaos
 // bookkeeping for one scenario.
 func build(sc *Scenario) (*harness, error) {
+	pods := 1
+	if sc.Shards > 1 {
+		// Sharded runs need pod structure to partition along.
+		pods = sc.Shards
+	}
 	tp, err := topo.BuildClos(topo.ClosConfig{
-		Pods: 1, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2,
+		Pods: pods, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2,
 		HostsPerToR: sc.HostsPerToR, RNICsPerHost: 1,
 	})
 	if err != nil {
@@ -93,6 +98,7 @@ func build(sc *Scenario) (*harness, error) {
 	ccfg := core.Config{
 		Topology: tp,
 		Seed:     sc.Seed,
+		Shards:   sc.Shards,
 		Pipeline: pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
 	}
 	if sc.Wire {

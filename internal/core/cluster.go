@@ -29,6 +29,15 @@ type Config struct {
 	Topology *topo.Topology
 	Seed     int64
 
+	// Shards partitions the simulation by topology pod and runs one engine
+	// per pod shard plus a fabric shard in conservative lockstep windows
+	// (DESIGN.md §9). 0 or 1 selects the classic serial engine. Values
+	// above the pod count are clamped; topologies without pod structure
+	// (rail fabrics, single-pod CLOS) always fall back to serial. Results
+	// are bit-identical across every Shards value and GOMAXPROCS setting —
+	// sharding buys wall-clock speed, never different physics.
+	Shards int
+
 	Net        simnet.Config
 	Agent      agent.Config
 	Controller controller.Config
@@ -104,9 +113,24 @@ type Cluster struct {
 	Alerts *alert.Engine
 
 	cfg         Config
+	sharded     *sim.ShardedEngine // nil in serial mode
+	sharding    topo.Sharding
 	taps        []func(proto.UploadBatch)
 	windowHooks []func(analyzer.WindowReport)
 }
+
+// Shards reports the number of pod shards the simulation actually runs
+// with (1 for the serial engine).
+func (c *Cluster) Shards() int {
+	if c.sharded == nil {
+		return 1
+	}
+	return c.sharded.Pods()
+}
+
+// ShardedEngine exposes the parallel engine group, or nil in serial mode
+// (benchmarks use it to toggle Serial window execution).
+func (c *Cluster) ShardedEngine() *sim.ShardedEngine { return c.sharded }
 
 // Upload implements proto.UploadSink by enqueueing into the ingest
 // pipeline — external injectors (e.g. a wire.Server) take the same path
@@ -149,8 +173,35 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		// Rail-optimized fabrics use §7.4's host-local one-way probing.
 		cfg.Agent.OneWayIntraHost = true
 	}
-	eng := sim.New(cfg.Seed)
 	tp := cfg.Topology
+
+	// Partition by pod when sharding is requested and the topology has pod
+	// structure; otherwise run the classic serial engine. Lookahead is the
+	// minimum cross-shard RNIC-to-RNIC hop count times the per-hop
+	// propagation delay: no packet can cross pods faster than that, so pod
+	// shards may safely run that far apart in virtual time.
+	var sharded *sim.ShardedEngine
+	var sharding topo.Sharding
+	if cfg.Shards > 1 && !tp.Rail {
+		sh, err := tp.Partition(cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		if sh.Shards > 1 {
+			lookahead := sim.Time(sh.MinCrossPathLinks) * cfg.Net.EffectivePropDelay()
+			if lookahead <= 0 {
+				return nil, fmt.Errorf("core: sharded engine computed non-positive lookahead")
+			}
+			sharded = sim.NewSharded(cfg.Seed, sh.Shards, lookahead)
+			sharding = sh
+		}
+	}
+	var eng *sim.Engine
+	if sharded != nil {
+		eng = sharded.Fabric()
+	} else {
+		eng = sim.New(cfg.Seed)
+	}
 	net := simnet.New(eng, tp, cfg.Net)
 	ctrl := controller.New(eng, tp, cfg.Controller)
 	an := analyzer.New(eng, tp, ctrl, cfg.Analyzer)
@@ -177,9 +228,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	c := &Cluster{
 		Eng: eng, Topo: tp, Net: net, Controller: ctrl, Analyzer: an,
-		Tracer: tracer,
-		Hosts:  make(map[topo.HostID]*HostNode),
-		cfg:    cfg,
+		Tracer:   tracer,
+		Hosts:    make(map[topo.HostID]*HostNode),
+		cfg:      cfg,
+		sharded:  sharded,
+		sharding: sharding,
 	}
 
 	// Ingest tier: Agents upload into the pipeline; the pipeline delivers
@@ -199,11 +252,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	for _, hid := range tp.AllHosts() {
-		h := rnic.NewHost(eng, hid, randClock())
+		// Everything on a host — its clock, RNIC timers/CQEs, and the Agent
+		// with its probing tickers — runs on the host's pod shard; the
+		// Agent's uploads hop to the fabric shard through shardSink.
+		hostEng := eng
+		var sink proto.UploadSink = c
+		if sharded != nil {
+			hostEng = sharded.Pod(sharding.HostShard[hid])
+			sink = shardSink{pod: hostEng, fab: eng, c: c}
+		}
+		h := rnic.NewHost(hostEng, hid, randClock())
 		node := &HostNode{Host: h, Devices: make(map[topo.DeviceID]*rnic.Device)}
 		for _, devID := range tp.Hosts[hid].RNICs {
 			info := tp.RNICs[devID]
-			d := rnic.NewDevice(eng, net, rnic.Config{
+			d := rnic.NewDevice(hostEng, net, rnic.Config{
 				ID: devID, IP: info.IP, GID: info.GID, Host: hid,
 				Clock: randClock(),
 			})
@@ -212,7 +274,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			node.Devices[devID] = d
 		}
 		node.Stack = verbs.NewStack(h)
-		node.Agent = agent.New(eng, node.Stack, agentCtrl, c, tracer, cfg.Agent)
+		node.Agent = agent.New(hostEng, node.Stack, agentCtrl, sink, tracer, cfg.Agent)
 		c.Hosts[hid] = node
 	}
 
@@ -258,8 +320,28 @@ func (c *Cluster) StartAgents() {
 	})
 }
 
+// shardSink carries an Agent's upload from its pod shard to the fabric
+// shard, at the upload's own virtual instant. Pod events must not mutate
+// fabric-owned state (the ingest pipeline) directly; the barrier-applied
+// event does, with full fabric-state access.
+type shardSink struct {
+	pod *sim.Engine
+	fab *sim.Engine
+	c   *Cluster
+}
+
+func (s shardSink) Upload(b proto.UploadBatch) {
+	s.pod.ScheduleOn(s.fab, s.pod.Now(), func() { s.c.Upload(b) })
+}
+
 // Run advances the simulation by d.
-func (c *Cluster) Run(d sim.Time) { c.Eng.RunUntil(c.Eng.Now() + d) }
+func (c *Cluster) Run(d sim.Time) {
+	if c.sharded != nil {
+		c.sharded.RunUntil(c.sharded.Now() + d)
+		return
+	}
+	c.Eng.RunUntil(c.Eng.Now() + d)
+}
 
 // Agent returns the agent on a host.
 func (c *Cluster) Agent(h topo.HostID) *agent.Agent { return c.Hosts[h].Agent }

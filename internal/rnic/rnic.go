@@ -205,6 +205,12 @@ func NewDevice(eng *sim.Engine, net Network, cfg Config) *Device {
 // ID returns the device identifier.
 func (d *Device) ID() topo.DeviceID { return d.cfg.ID }
 
+// Engine returns the simulation engine the device's events run on — the
+// owning pod shard under the sharded engine, or the one global engine in
+// serial mode. The data plane uses it to route deliveries to the right
+// shard's heap.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
 // IP returns the device address.
 func (d *Device) IP() netip.Addr { return d.cfg.IP }
 

@@ -5,6 +5,11 @@
 // plane, the DML service model) and the R-Pingmesh modules themselves run
 // on this engine, so a thirty-minute experiment executes in seconds and
 // every run is reproducible from a seed.
+//
+// Two execution modes exist. A standalone Engine (from New) is the classic
+// single-threaded event loop. A ShardedEngine (from NewSharded) runs one
+// Engine per topology pod plus a fabric shard in conservative lockstep
+// windows; see sharded.go.
 package sim
 
 import (
@@ -43,24 +48,51 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // Event is a scheduled callback. Events fire in (time, seq) order; seq
 // breaks ties in scheduling order so the simulation is deterministic.
+//
+// Event records are pooled per engine: after an event fires (or its
+// cancelled record is reaped) the struct goes back on a free list. The
+// generation counter protects pooled reuse from stale Handles.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
+	eng  *Engine
 	idx  int
+	gen  uint64
 	dead bool
 }
 
-// Handle identifies a scheduled event and allows cancellation.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event and allows cancellation. The zero
+// Handle is valid and cancels nothing (cross-shard sends return it).
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op (the generation counter detects
+// records that have been recycled for a newer event).
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.dead {
+		return
+	}
+	ev.dead = true
+	ev.fn = nil
+	e := ev.eng
+	e.deadCount++
+	// Lazy compaction: cancelled records are normally reaped when popped,
+	// but a workload that cancels most of what it schedules (10k probe
+	// timeouts, say) would otherwise grow the heap without bound. Rebuild
+	// once the majority of the heap is dead.
+	if e.deadCount > len(e.queue)/2 && len(e.queue) > compactMinHeap {
+		e.compact()
 	}
 }
+
+// compactMinHeap is the heap size below which compaction is not worth the
+// rebuild (popping a few dead records lazily is cheaper).
+const compactMinHeap = 64
 
 type eventQueue []*event
 
@@ -90,8 +122,19 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// crossEvent is an event generated inside a parallel shard window whose
+// destination heap belongs to another shard. It is buffered in the source
+// engine's outbox and applied at the next barrier (see sharded.go).
+type crossEvent struct {
+	dst *Engine
+	at  Time
+	fn  func()
+}
+
 // Engine is a single-threaded discrete-event simulator. It is not safe for
-// concurrent use; all actors run inside event callbacks.
+// concurrent use; all actors run inside event callbacks. Engines created by
+// NewSharded additionally carry shard-exchange state, but each individual
+// engine still executes its own events strictly single-threaded.
 type Engine struct {
 	now     Time
 	seq     uint64
@@ -99,11 +142,26 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// Event-record pool and cancelled-event accounting.
+	free      []*event
+	deadCount int
+
+	// Sharding state (zero for standalone engines). root is the RNG that
+	// SubRand derives streams from; for sharded groups every member shares
+	// one root so module streams are identical regardless of shard count.
+	// inWindow marks pod engines whose cross-shard sends must be buffered
+	// in outbox until the barrier rather than pushed directly.
+	root     *rand.Rand
+	shard    int
+	inWindow bool
+	outbox   []crossEvent
 }
 
 // New returns an engine whose random stream is derived from seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	rng := rand.New(rand.NewSource(seed))
+	return &Engine{rng: rng, root: rng, shard: -1}
 }
 
 // Now returns the current virtual time.
@@ -113,17 +171,64 @@ func (e *Engine) Now() Time { return e.now }
 // randomness from it (or from SubRand) so runs are reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// Shard returns the engine's shard index: -1 for a standalone engine or a
+// sharded group's fabric shard, 0..N-1 for pod shards.
+func (e *Engine) Shard() int { return e.shard }
+
 // SubRand returns an independent random stream deterministically derived
 // from the engine seed and the given label, so adding randomness in one
-// module does not perturb another.
+// module does not perturb another. All engines of a ShardedEngine share one
+// root stream, so as long as modules are constructed in the same order, the
+// per-module streams are identical for every shard count.
 func (e *Engine) SubRand(label string) *rand.Rand {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	h ^= uint64(e.rng.Int63())
+	h ^= uint64(e.root.Int63())
 	return rand.New(rand.NewSource(int64(h)))
+}
+
+// acquire takes an event record from the pool (or allocates one).
+func (e *Engine) acquire() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e}
+}
+
+// release recycles a fired or reaped record. Bumping the generation makes
+// any outstanding Handle to it inert.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	e.free = append(e.free, ev)
+}
+
+// compact rebuilds the heap without its cancelled records.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.dead {
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i, ev := range e.queue {
+		ev.idx = i
+	}
+	heap.Init(&e.queue)
+	e.deadCount = 0
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (or at
@@ -136,14 +241,29 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.acquire()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) Handle { return e.At(e.now+d, fn) }
+
+// ScheduleOn schedules fn at absolute time at on the engine owning dst.
+// On a standalone engine (or when dst is the engine itself, or outside a
+// parallel window) this is dst.At. Inside a parallel shard window the event
+// is buffered in the source shard's outbox and applied at the barrier, in
+// deterministic (time, source shard, send order) order. Cross-shard sends
+// return the zero Handle: they cannot be cancelled.
+func (e *Engine) ScheduleOn(dst *Engine, at Time, fn func()) Handle {
+	if dst == e || !e.inWindow {
+		return dst.At(at, fn)
+	}
+	e.outbox = append(e.outbox, crossEvent{dst: dst, at: at, fn: fn})
+	return Handle{}
+}
 
 // Every schedules fn to run every period, starting at now+offset, until the
 // returned Ticker is stopped or the engine stops.
@@ -191,6 +311,23 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // yet reaped).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Live reports how many non-cancelled events are queued.
+func (e *Engine) Live() int { return len(e.queue) - e.deadCount }
+
+// nextAt reports the time of the earliest live event, reaping any
+// cancelled records that have bubbled to the top.
+func (e *Engine) nextAt() (Time, bool) {
+	for len(e.queue) > 0 && e.queue[0].dead {
+		ev := heap.Pop(&e.queue).(*event)
+		e.deadCount--
+		e.release(ev)
+	}
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Run executes events until the queue is empty or the engine is stopped.
 func (e *Engine) Run() {
 	e.stopped = false
@@ -215,9 +352,24 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// runWindow executes every event strictly before w. It is the per-shard
+// body of one conservative parallel window; the clock is left at the last
+// executed event so cross-window At clamping stays correct.
+func (e *Engine) runWindow(w Time) {
+	for {
+		t, ok := e.nextAt()
+		if !ok || t >= w {
+			return
+		}
+		e.step()
+	}
+}
+
 func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(*event)
 	if ev.dead {
+		e.deadCount--
+		e.release(ev)
 		return
 	}
 	if ev.at < e.now {
@@ -225,5 +377,7 @@ func (e *Engine) step() {
 	}
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.release(ev)
+	fn()
 }

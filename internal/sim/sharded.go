@@ -1,0 +1,242 @@
+// Conservative parallel execution: one Engine per topology pod plus a
+// fabric shard, advanced in lockstep windows bounded by the minimum
+// cross-shard propagation delay (the classic YAWNS barrier scheme).
+//
+// The scheduling rule is fabric-first:
+//
+//   - If the earliest pending event overall belongs to the fabric shard,
+//     fabric events run exclusively (pods idle). Fabric events therefore
+//     have the single-threaded engine's semantics: they may read and write
+//     any shard's state directly, which is where all shared-state work
+//     (controller, analyzer, ingest, fluid network model, fault and chaos
+//     injection) is placed by internal/core.
+//   - Otherwise the pod shards run every event in [podMin, W) in parallel,
+//     where W = min(podMin + lookahead, fabricMin, deadline+1). Fabric
+//     state is frozen during such a window, so pod events may read it
+//     freely; anything a pod event must *write* outside its shard travels
+//     through ScheduleOn and is applied at the barrier.
+//
+// Determinism argument (DESIGN.md §9): each shard's heap executes
+// single-threaded in (time, seq) order; windows only decide *when* a shard
+// runs, never the order within it; barrier flushes apply cross-shard events
+// in (source shard, send order) order, and the lookahead bound guarantees a
+// flushed event can never land inside a window that already ran. Hence the
+// result is a pure function of the seed — independent of GOMAXPROCS and of
+// how the window boundaries happen to fall.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShardedEngine coordinates one fabric Engine and N pod Engines.
+type ShardedEngine struct {
+	fabric    *Engine
+	pods      []*Engine
+	lookahead Time
+
+	// Serial forces single-goroutine window execution (useful to measure
+	// barrier overhead in isolation). Results are identical either way.
+	Serial bool
+
+	active []*Engine // scratch: pods with events in the current window
+}
+
+// NewSharded builds a sharded engine group with the given number of pod
+// shards. lookahead is the minimum cross-shard event latency: an event
+// executing at time t in one pod shard may only schedule onto another pod
+// shard at or after t+lookahead (internal/core derives it from the
+// topology partition and the link propagation delay). It must be positive.
+//
+// All engines in the group share a single root RNG stream, so SubRand
+// labels resolve to the same per-module streams as a standalone Engine
+// with the same seed, provided construction order is identical.
+func NewSharded(seed int64, pods int, lookahead Time) *ShardedEngine {
+	if pods < 1 {
+		panic("sim: NewSharded needs at least one pod shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewSharded needs a positive lookahead")
+	}
+	s := &ShardedEngine{lookahead: lookahead}
+	s.fabric = New(seed)
+	root := s.fabric.root
+	for i := 0; i < pods; i++ {
+		p := &Engine{rng: root, root: root, shard: i, inWindow: true}
+		s.pods = append(s.pods, p)
+	}
+	return s
+}
+
+// Fabric returns the fabric/control shard. This is the engine all shared
+// modules (controller, analyzer, pipeline, fluid network, chaos) schedule
+// on, and the group's reference clock.
+func (s *ShardedEngine) Fabric() *Engine { return s.fabric }
+
+// Pods returns the number of pod shards.
+func (s *ShardedEngine) Pods() int { return len(s.pods) }
+
+// Pod returns pod shard i's engine.
+func (s *ShardedEngine) Pod(i int) *Engine { return s.pods[i] }
+
+// Now returns the fabric clock.
+func (s *ShardedEngine) Now() Time { return s.fabric.now }
+
+// Fired reports events executed across all shards.
+func (s *ShardedEngine) Fired() uint64 {
+	n := s.fabric.fired
+	for _, p := range s.pods {
+		n += p.fired
+	}
+	return n
+}
+
+// podMin returns the earliest pending pod-shard event.
+func (s *ShardedEngine) podMin() (Time, bool) {
+	var best Time
+	ok := false
+	for _, p := range s.pods {
+		if t, has := p.nextAt(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// flush applies every pod outbox at a barrier: pod order, then send order
+// within a pod. Each shard's outbox is already time-sorted (events are
+// appended in execution order), so heap pushes assign tie-breaking seq
+// numbers deterministically.
+func (s *ShardedEngine) flush() {
+	for _, p := range s.pods {
+		for i, ce := range p.outbox {
+			if ce.at < ce.dst.now {
+				panic(fmt.Sprintf("sim: cross-shard event at %v violates causality (dst shard %d already at %v; lookahead too large?)",
+					ce.at, ce.dst.shard, ce.dst.now))
+			}
+			ce.dst.At(ce.at, ce.fn)
+			p.outbox[i] = crossEvent{}
+		}
+		p.outbox = p.outbox[:0]
+	}
+}
+
+// RunUntil advances the whole group until every shard's virtual time
+// reaches deadline (or all queues drain). It is the sharded counterpart of
+// Engine.RunUntil and leaves every shard clock at deadline.
+func (s *ShardedEngine) RunUntil(deadline Time) {
+	workers := s.startWorkers()
+	for {
+		fabT, fabOK := s.fabric.nextAt()
+		podT, podOK := s.podMin()
+		if !fabOK && !podOK {
+			break
+		}
+		if fabOK && (!podOK || fabT <= podT) {
+			// Fabric-first: ties run the fabric event before any pod event
+			// at the same instant (pods idle, full-state access).
+			if fabT > deadline {
+				break
+			}
+			// Drag lagging pod clocks up to the fabric event's instant
+			// before it runs: every pod's next event is >= fabT, so this
+			// never moves time backwards, and it makes relative scheduling
+			// (pod.After) from inside the fabric event see the same "now" a
+			// serial engine would.
+			for _, p := range s.pods {
+				if p.now < fabT {
+					p.now = fabT
+				}
+			}
+			s.fabric.step()
+			continue
+		}
+		if podT > deadline {
+			break
+		}
+		w := podT + s.lookahead
+		if fabOK && fabT < w {
+			w = fabT
+		}
+		if deadline+1 < w {
+			w = deadline + 1
+		}
+		s.runWindow(w, workers)
+		s.flush()
+	}
+	if workers != nil {
+		workers.stop()
+	}
+	for _, e := range append([]*Engine{s.fabric}, s.pods...) {
+		if e.now < deadline {
+			e.now = deadline
+		}
+	}
+}
+
+// runWindow executes all pod events strictly before w. Windows with a
+// single active shard run inline on the coordinator goroutine; wider
+// windows fan out to the persistent workers.
+func (s *ShardedEngine) runWindow(w Time, workers *windowWorkers) {
+	s.active = s.active[:0]
+	for _, p := range s.pods {
+		if t, ok := p.nextAt(); ok && t < w {
+			s.active = append(s.active, p)
+		}
+	}
+	if workers == nil || len(s.active) <= 1 {
+		for _, p := range s.active {
+			p.runWindow(w)
+		}
+		return
+	}
+	for _, p := range s.active {
+		workers.work[p.shard] <- w
+	}
+	for range s.active {
+		<-workers.done
+	}
+}
+
+// windowWorkers is one long-lived goroutine per pod shard, parked between
+// windows. They live only for the duration of one RunUntil call, so a
+// ShardedEngine needs no Close and leaks nothing.
+type windowWorkers struct {
+	work []chan Time
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startWorkers spawns the per-pod window workers, or returns nil when
+// parallel execution is pointless (single pod or Serial mode) — results
+// are identical either way, only wall-clock differs.
+func (s *ShardedEngine) startWorkers() *windowWorkers {
+	if s.Serial || len(s.pods) <= 1 {
+		return nil
+	}
+	ww := &windowWorkers{
+		work: make([]chan Time, len(s.pods)),
+		done: make(chan struct{}, len(s.pods)),
+	}
+	for i, p := range s.pods {
+		ch := make(chan Time, 1)
+		ww.work[i] = ch
+		ww.wg.Add(1)
+		go func(p *Engine, ch chan Time) {
+			defer ww.wg.Done()
+			for w := range ch {
+				p.runWindow(w)
+				ww.done <- struct{}{}
+			}
+		}(p, ch)
+	}
+	return ww
+}
+
+func (w *windowWorkers) stop() {
+	for _, ch := range w.work {
+		close(ch)
+	}
+	w.wg.Wait()
+}

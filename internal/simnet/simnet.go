@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync/atomic"
 
 	"rpingmesh/internal/ecmp"
 	"rpingmesh/internal/rnic"
@@ -71,6 +72,9 @@ func (c DropCause) String() string {
 	}
 }
 
+// dropCauseCount sizes per-link drop counters (DropNone..DropNoRoute).
+const dropCauseCount = int(DropNoRoute) + 1
+
 // LinkStats aggregates per-directed-link ground truth.
 type LinkStats struct {
 	Delivered int64
@@ -93,6 +97,14 @@ type Config struct {
 	// CC builds per-flow congestion control state. Nil means flows always
 	// send at their demand (no congestion control).
 	CC CongestionControl
+}
+
+// EffectivePropDelay reports the per-hop propagation delay after default
+// resolution — what internal/core multiplies by the partition's minimum
+// cross-shard hop count to size the parallel engine's lookahead.
+func (c Config) EffectivePropDelay() sim.Time {
+	c.setDefaults()
+	return c.PropDelay
 }
 
 func (c *Config) setDefaults() {
@@ -129,7 +141,12 @@ type linkState struct {
 	offeredGbps float64
 	ecn         bool
 
-	stats LinkStats
+	// Ground-truth counters. Atomic because packets from different pod
+	// shards can cross the same directed link (spine-to-agg links carry
+	// every pod's inbound traffic) inside one parallel window; the sums are
+	// commutative so the totals are exact regardless of interleaving.
+	delivered  atomic.Int64
+	dropCounts [dropCauseCount]atomic.Int64
 }
 
 type aclKey struct {
@@ -138,11 +155,25 @@ type aclKey struct {
 }
 
 // Net is the simulated RoCE fabric. It implements rnic.Network.
+//
+// Under the sharded engine, SendPacket runs on the sending device's pod
+// shard, concurrently with other pods. The method confines itself to
+// reads of fabric-owned state (routing tables, fluid queues, fault flags —
+// all frozen during pod windows), atomic counter updates, and a
+// cross-shard delivery through sim.ScheduleOn. Everything that *mutates*
+// fabric-owned state (fluid ticks, fault injection, ACL changes) runs on
+// the fabric shard.
 type Net struct {
 	eng  *sim.Engine
 	topo *topo.Topology
 	cfg  Config
 	rng  *rand.Rand
+
+	// dropSalt seeds the per-packet drop hash. Drop decisions are a pure
+	// hash of (salt, link, packet identity, time) rather than sequential
+	// rng draws, so they are independent of the global packet ordering —
+	// a precondition for shard-count-independent results.
+	dropSalt uint64
 
 	devs    map[topo.DeviceID]*rnic.Device
 	devByIP map[netip.Addr]*rnic.Device
@@ -170,8 +201,9 @@ func New(eng *sim.Engine, tp *topo.Topology, cfg Config) *Net {
 		aclDeny: make(map[aclKey]bool),
 		flows:   make(map[FlowID]*Flow),
 	}
+	n.dropSalt = n.rng.Uint64()
 	for i, l := range tp.Links {
-		n.links[i] = &linkState{link: l, stats: LinkStats{Drops: make(map[DropCause]int64)}}
+		n.links[i] = &linkState{link: l}
 	}
 	return n
 }
@@ -233,6 +265,21 @@ func (n *Net) PathOf(src topo.DeviceID, tuple ecmp.FiveTuple) ([]topo.LinkID, er
 	return n.topo.Route(src, dst.ID(), tuple.Hasher())
 }
 
+// engFor returns the engine owning a registered device's events, falling
+// back to the fabric engine for unknown devices. In serial mode every
+// device reports the one engine, so all of this collapses to the old
+// single-heap behavior.
+func (n *Net) engFor(id topo.DeviceID) *sim.Engine {
+	if d, ok := n.devs[id]; ok {
+		return d.Engine()
+	}
+	return n.eng
+}
+
+// EngineFor exposes the owning engine of a device's events (trace needs
+// the source host's clock for its token buckets).
+func (n *Net) EngineFor(id topo.DeviceID) *sim.Engine { return n.engFor(id) }
+
 // SendPacket implements rnic.Network: route, apply faults, queue delays,
 // then deliver.
 func (n *Net) SendPacket(p *rnic.Packet) {
@@ -244,32 +291,52 @@ func (n *Net) SendPacket(p *rnic.Packet) {
 	if err != nil {
 		return
 	}
+	srcEng := n.engFor(p.SrcDev)
+	now := srcEng.Now()
 	delay := sim.Time(0)
 	for _, lid := range path {
 		ls := n.links[lid]
 		delay += n.cfg.PropDelay + n.queueDelay(ls)
-		if cause := n.dropAt(ls, p); cause != DropNone {
-			ls.stats.Drops[cause]++
+		if cause := n.dropAt(ls, p, now); cause != DropNone {
+			ls.dropCounts[cause].Add(1)
 			return
 		}
-		ls.stats.Delivered++
+		ls.delivered.Add(1)
 	}
-	n.eng.After(delay, func() { dst.Deliver(p) })
+	dstEng := n.engFor(dst.ID())
+	srcEng.ScheduleOn(dstEng, now+delay, func() { dst.Deliver(p) })
 }
 
-// dropAt evaluates fault state for a packet crossing a link.
-func (n *Net) dropAt(ls *linkState, p *rnic.Packet) DropCause {
+// chance returns a uniform [0,1) value that is a pure function of the
+// packet's identity, the link, the instant, and a per-site salt — the
+// same decision no matter which order concurrent shards evaluate it in.
+func (n *Net) chance(ls *linkState, p *rnic.Packet, now sim.Time, site uint64) float64 {
+	h := n.dropSalt ^ (site * 0x9e3779b97f4a7c15)
+	for _, v := range []uint64{
+		uint64(ls.link.ID), uint64(now),
+		uint64(p.SrcQPN), uint64(p.DstQPN), p.Seq, p.WRID, uint64(p.Kind),
+	} {
+		h ^= v
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// dropAt evaluates fault state for a packet crossing a link at virtual
+// time now (the sending shard's clock).
+func (n *Net) dropAt(ls *linkState, p *rnic.Packet, now sim.Time) DropCause {
 	if ls.down {
 		return DropLinkDown
 	}
 	if ls.pfcBlocked {
 		return DropPFC
 	}
-	if n.eng.Now() < ls.unstableUntil && n.rng.Float64() < 0.3 {
+	if now < ls.unstableUntil && n.chance(ls, p, now, 1) < 0.3 {
 		// Post-flap instability loses packets too.
 		return DropLinkDown
 	}
-	if ls.dropProb > 0 && n.rng.Float64() < ls.dropProb {
+	if ls.dropProb > 0 && n.chance(ls, p, now, 2) < ls.dropProb {
 		return DropCorrupt
 	}
 	// ACL is evaluated at the ingress switch of the link's To endpoint.
@@ -284,7 +351,7 @@ func (n *Net) dropAt(ls *linkState, p *rnic.Packet) DropCause {
 	// congestion — exactly the paper's "packet drops during heavy
 	// congestion" (#9).
 	if ls.badHeadroom && ls.queueBytes > 0.85*n.cfg.MaxQueueBytes {
-		if n.rng.Float64() < 0.25 {
+		if n.chance(ls, p, now, 3) < 0.25 {
 			return DropHeadroom
 		}
 	}
@@ -308,10 +375,12 @@ func (n *Net) QueueBytesOn(l topo.LinkID) float64 { return n.links[l].queueBytes
 
 // Stats returns a copy of the ground-truth stats for a directed link.
 func (n *Net) Stats(l topo.LinkID) LinkStats {
-	src := n.links[l].stats
-	out := LinkStats{Delivered: src.Delivered, Drops: make(map[DropCause]int64, len(src.Drops))}
-	for k, v := range src.Drops {
-		out.Drops[k] = v
+	ls := n.links[l]
+	out := LinkStats{Delivered: ls.delivered.Load(), Drops: make(map[DropCause]int64)}
+	for c := 0; c < dropCauseCount; c++ {
+		if v := ls.dropCounts[c].Load(); v != 0 {
+			out.Drops[DropCause(c)] = v
+		}
 	}
 	return out
 }

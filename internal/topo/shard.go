@@ -1,0 +1,185 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FabricShard is the shard index of devices that belong to no pod shard
+// (spine switches in a 3-tier CLOS). They carry no simulation events of
+// their own — packets traverse them inside a single end-to-end delivery —
+// so the parallel engine gives them to the fabric/control shard.
+const FabricShard = -1
+
+// Sharding is a partition of the topology along pod boundaries, the input
+// the parallel discrete-event engine needs: which shard owns every host,
+// RNIC and link, which links cross shards, and how far apart (in links)
+// two shards' RNICs minimally are — the quantity that, multiplied by the
+// per-link propagation delay, bounds the engine's safe lookahead window.
+type Sharding struct {
+	// Shards is the number of pod shards (excluding the fabric shard).
+	Shards int
+
+	// HostShard maps every host to its owning shard.
+	HostShard map[HostID]int
+
+	// DevShard maps every device (RNIC or switch) to its owning shard,
+	// FabricShard for devices outside every pod shard.
+	DevShard map[DeviceID]int
+
+	// CrossEdges lists, exactly once each, every directed link whose
+	// endpoints live in different shards (including links touching the
+	// fabric shard).
+	CrossEdges []LinkID
+
+	// MinCrossPathLinks is the minimum number of links on any path between
+	// two RNICs in different shards (6 in a 3-tier CLOS: rnic→tor→agg→
+	// spine→agg→tor→rnic). Multiplied by the per-link propagation delay it
+	// is the engine's path lookahead: no event in one pod shard can cause
+	// an event in another sooner than that. Zero when Shards < 2.
+	MinCrossPathLinks int
+}
+
+// Partition splits the topology into at most maxShards pod shards. Pods
+// are assigned to shards round-robin (pod p → shard p mod maxShards), so
+// maxShards >= #pods yields one shard per pod and smaller values group
+// pods; grouping only merges shards, which can only increase the minimum
+// cross-shard distance's true value, so the computed (post-grouping) bound
+// stays safe. Topologies without pod structure (rail-optimized fabrics,
+// single-pod CLOS) collapse to a single shard — the caller should fall
+// back to the serial engine (Shards < 2).
+func (t *Topology) Partition(maxShards int) (Sharding, error) {
+	if maxShards < 1 {
+		return Sharding{}, fmt.Errorf("topo: Partition needs maxShards >= 1, got %d", maxShards)
+	}
+	// Collect the distinct pods actually present, in sorted order, and map
+	// pod number → shard index deterministically.
+	podSet := map[int]bool{}
+	for _, h := range t.Hosts {
+		podSet[h.Pod] = true
+	}
+	pods := make([]int, 0, len(podSet))
+	for p := range podSet {
+		pods = append(pods, p)
+	}
+	sort.Ints(pods)
+	shardOfPod := make(map[int]int, len(pods))
+	nShards := 0
+	for i, p := range pods {
+		s := i % maxShards
+		shardOfPod[p] = s
+		if s+1 > nShards {
+			nShards = s + 1
+		}
+	}
+
+	sh := Sharding{
+		Shards:    nShards,
+		HostShard: make(map[HostID]int, len(t.Hosts)),
+		DevShard:  make(map[DeviceID]int, len(t.RNICs)+len(t.Switches)),
+	}
+	for id, h := range t.Hosts {
+		sh.HostShard[id] = shardOfPod[h.Pod]
+	}
+	for id, r := range t.RNICs {
+		sh.DevShard[id] = shardOfPod[t.Hosts[r.Host].Pod]
+	}
+	for id, sw := range t.Switches {
+		if s, ok := shardOfPod[sw.Pod]; ok && sw.Pod >= 0 {
+			sh.DevShard[id] = s
+		} else {
+			sh.DevShard[id] = FabricShard
+		}
+	}
+
+	for _, l := range t.Links {
+		if sh.shardOfDev(l.From) != sh.shardOfDev(l.To) {
+			sh.CrossEdges = append(sh.CrossEdges, l.ID)
+		}
+	}
+
+	if nShards >= 2 {
+		sh.MinCrossPathLinks = t.minCrossPathLinks(&sh)
+		if sh.MinCrossPathLinks <= 0 {
+			return Sharding{}, fmt.Errorf("topo: partition found RNICs of different shards zero links apart")
+		}
+	}
+	return sh, nil
+}
+
+func (s *Sharding) shardOfDev(d DeviceID) int {
+	if sh, ok := s.DevShard[d]; ok {
+		return sh
+	}
+	return FabricShard
+}
+
+// minCrossPathLinks runs one multi-source BFS per shard, seeded at the
+// shard's RNICs, and returns the smallest link count at which any BFS
+// reaches an RNIC of a different shard. Graph distance lower-bounds the
+// routed (up/down ECMP) path length, so the result is a safe lookahead
+// even if routing takes a longer way around.
+func (t *Topology) minCrossPathLinks(s *Sharding) int {
+	// Adjacency over directed links (every cable contributes both
+	// directions, so BFS over out-edges reaches everything).
+	adj := make(map[DeviceID][]DeviceID)
+	for _, l := range t.Links {
+		adj[l.From] = append(adj[l.From], l.To)
+	}
+
+	best := -1
+	seeds := make(map[int][]DeviceID)
+	for id, r := range t.RNICs {
+		seeds[s.DevShard[id]] = append(seeds[s.DevShard[id]], r.ID)
+	}
+	for shard, start := range seeds {
+		dist := make(map[DeviceID]int, len(adj))
+		queue := make([]DeviceID, 0, len(start))
+		for _, id := range start {
+			dist[id] = 0
+			queue = append(queue, id)
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			d := dist[cur]
+			if best >= 0 && d >= best {
+				continue
+			}
+			for _, nb := range adj[cur] {
+				if _, seen := dist[nb]; seen {
+					continue
+				}
+				dist[nb] = d + 1
+				if _, isRNIC := t.RNICs[nb]; isRNIC && s.DevShard[nb] != shard {
+					if best < 0 || d+1 < best {
+						best = d + 1
+					}
+					continue
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Lookahead returns the minimum cross-shard propagation delay: the
+// smallest perLink value over the partition's cross-shard edges. This is
+// the per-link (hop-by-hop) lookahead bound of the classic conservative
+// PDES formulation; the packet-granular engine in this repo can use the
+// stronger MinCrossPathLinks × propagation bound because simnet delivers
+// end-to-end in one event.
+func (s *Sharding) Lookahead(perLink func(LinkID) int64) int64 {
+	min := int64(0)
+	for i, l := range s.CrossEdges {
+		d := perLink(l)
+		if i == 0 || d < min {
+			min = d
+		}
+	}
+	return min
+}

@@ -52,24 +52,38 @@ func (r Result) Links() []topo.LinkID {
 }
 
 // PathTracer discovers the network path a tuple's packets take from a
-// source RNIC.
+// source RNIC. origin names the host driving the trace: rate-limit
+// accounting and timestamps are attributed to it. It differs from src's
+// host when an Agent traces its probe's ACK tuple, whose source RNIC is
+// the remote responder — attribution to the origin keeps all tracer state
+// owned by the originating pod shard, which is what lets concurrently
+// tracing pods stay race-free and deterministic.
 type PathTracer interface {
-	TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error)
+	TracePath(origin topo.HostID, src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error)
 }
 
 // Traceroute is the TTL-walking tracer with per-switch response rate
 // limiting.
+//
+// The switch CPU policer is modeled per (switch, source pod): each pod's
+// agents compete for their own slice of the switch's response budget. Pod
+// is a topology property, so the model behaves identically under the
+// serial and the pod-sharded engine — and concurrently-tracing pod shards
+// never touch each other's bucket state.
 type Traceroute struct {
 	net *simnet.Net
 	eng *sim.Engine
 
 	// PerSwitchRPS is each switch's maximum TTL-expired responses per
-	// second. Defaults to 100 (typical COPP policer ballpark).
+	// second (per source pod). Defaults to 100 (typical COPP policer
+	// ballpark).
 	PerSwitchRPS float64
 	// Burst is the token bucket burst. Defaults to 20.
 	Burst float64
 
-	buckets map[topo.DeviceID]*bucket
+	// buckets[pod][switch]; the outer map is fixed at construction so pod
+	// shards only ever write their own inner map.
+	buckets map[int]map[topo.DeviceID]*bucket
 }
 
 type bucket struct {
@@ -79,23 +93,53 @@ type bucket struct {
 
 // NewTraceroute builds a tracer over the data plane.
 func NewTraceroute(eng *sim.Engine, net *simnet.Net) *Traceroute {
-	return &Traceroute{
+	t := &Traceroute{
 		net:          net,
 		eng:          eng,
 		PerSwitchRPS: 100,
 		Burst:        20,
-		buckets:      make(map[topo.DeviceID]*bucket),
+		buckets:      make(map[int]map[topo.DeviceID]*bucket),
 	}
+	for _, h := range net.Topology().Hosts {
+		if _, ok := t.buckets[h.Pod]; !ok {
+			t.buckets[h.Pod] = make(map[topo.DeviceID]*bucket)
+		}
+	}
+	return t
 }
 
-func (t *Traceroute) take(sw topo.DeviceID) bool {
-	b, ok := t.buckets[sw]
-	if !ok {
-		b = &bucket{tokens: t.Burst, last: t.eng.Now()}
-		t.buckets[sw] = b
+// originPod maps the originating host to its pod (bucket namespace).
+func (t *Traceroute) originPod(origin topo.HostID) int {
+	if h, ok := t.net.Topology().Hosts[origin]; ok {
+		return h.Pod
 	}
-	elapsed := (t.eng.Now() - b.last).Seconds()
-	b.last = t.eng.Now()
+	return -1
+}
+
+// originClock reads the originating host's shard clock (the one global
+// clock in serial mode).
+func originClock(net *simnet.Net, origin topo.HostID) sim.Time {
+	if h, ok := net.Topology().Hosts[origin]; ok && len(h.RNICs) > 0 {
+		return net.EngineFor(h.RNICs[0]).Now()
+	}
+	// Unknown origin: EngineFor's fallback is the fabric engine.
+	return net.EngineFor("").Now()
+}
+
+func (t *Traceroute) take(pod int, sw topo.DeviceID, now sim.Time) bool {
+	byPod, ok := t.buckets[pod]
+	if !ok {
+		// Unknown sources (not expected in practice) share a fallback pod.
+		byPod = make(map[topo.DeviceID]*bucket)
+		t.buckets[pod] = byPod
+	}
+	b, ok := byPod[sw]
+	if !ok {
+		b = &bucket{tokens: t.Burst, last: now}
+		byPod[sw] = b
+	}
+	elapsed := (now - b.last).Seconds()
+	b.last = now
 	b.tokens += elapsed * t.PerSwitchRPS
 	if b.tokens > t.Burst {
 		b.tokens = t.Burst
@@ -111,12 +155,14 @@ func (t *Traceroute) take(sw topo.DeviceID) bool {
 // path is down or blocked: hops beyond the failure never answer and are
 // not reported (as real traceroute shows a trail of '*'s, which carry no
 // localization information).
-func (t *Traceroute) TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error) {
+func (t *Traceroute) TracePath(origin topo.HostID, src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error) {
 	path, err := t.net.PathOf(src, tuple)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Tuple: tuple, Complete: true, At: t.eng.Now()}
+	now := originClock(t.net, origin)
+	pod := t.originPod(origin)
+	res := Result{Tuple: tuple, Complete: true, At: now}
 	for _, lid := range path {
 		link := t.net.Topology().Links[lid]
 		if t.net.LinkDown(lid) {
@@ -126,7 +172,7 @@ func (t *Traceroute) TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result,
 		}
 		hop := Hop{Link: lid, Device: link.To}
 		if _, isSwitch := t.net.Topology().Switches[link.To]; isSwitch {
-			hop.Responded = t.take(link.To)
+			hop.Responded = t.take(pod, link.To, now)
 		} else {
 			// The destination host answers without a switch CPU policer.
 			hop.Responded = true
@@ -152,12 +198,12 @@ type INT struct {
 func NewINT(eng *sim.Engine, net *simnet.Net) *INT { return &INT{net: net, eng: eng} }
 
 // TracePath implements PathTracer.
-func (t *INT) TracePath(src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error) {
+func (t *INT) TracePath(origin topo.HostID, src topo.DeviceID, tuple ecmp.FiveTuple) (Result, error) {
 	path, err := t.net.PathOf(src, tuple)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Tuple: tuple, Complete: true, At: t.eng.Now()}
+	res := Result{Tuple: tuple, Complete: true, At: originClock(t.net, origin)}
 	for _, lid := range path {
 		link := t.net.Topology().Links[lid]
 		if t.net.LinkDown(lid) {

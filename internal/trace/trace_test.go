@@ -41,10 +41,13 @@ func (r *rig) tuple(port uint16) ecmp.FiveTuple {
 	return ecmp.RoCETuple(r.tp.RNICs[r.a].IP, r.tp.RNICs[r.b].IP, port)
 }
 
+// host returns the owning host of an RNIC (the trace origin).
+func (r *rig) host(dev topo.DeviceID) topo.HostID { return r.tp.RNICs[dev].Host }
+
 func TestTracerouteCompletePath(t *testing.T) {
 	r := newRig(t)
 	tr := NewTraceroute(r.eng, r.net)
-	res, err := tr.TracePath(r.a, r.tuple(1))
+	res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +78,7 @@ func TestTracerouteRateLimiting(t *testing.T) {
 	// Burst of traces through the same first switch: tokens run out.
 	incomplete := 0
 	for i := 0; i < 10; i++ {
-		res, err := tr.TracePath(r.a, r.tuple(1))
+		res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +91,7 @@ func TestTracerouteRateLimiting(t *testing.T) {
 	}
 	// After a second of virtual time, tokens refill.
 	r.eng.RunUntil(r.eng.Now() + sim.Second)
-	res, err := tr.TracePath(r.a, r.tuple(1))
+	res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +105,7 @@ func TestTracerouteStopsAtDownLink(t *testing.T) {
 	tr := NewTraceroute(r.eng, r.net)
 	path, _ := r.net.PathOf(r.a, r.tuple(1))
 	r.net.SetLinkDown(path[2], true)
-	res, err := tr.TracePath(r.a, r.tuple(1))
+	res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +123,7 @@ func TestTracerouteUnknownDestination(t *testing.T) {
 	tr := NewTraceroute(r.eng, r.net)
 	bad := r.tuple(1)
 	bad.DstIP = bad.SrcIP // self-route fails in topo
-	if _, err := tr.TracePath(r.a, bad); err == nil {
+	if _, err := tr.TracePath(r.host(r.a), r.a, bad); err == nil {
 		t.Fatal("trace to self succeeded")
 	}
 }
@@ -130,7 +133,7 @@ func TestINTAlwaysCompleteAndSeesQueues(t *testing.T) {
 	it := NewINT(r.eng, r.net)
 	// Hammer it: INT has no rate limiter.
 	for i := 0; i < 100; i++ {
-		res, err := it.TracePath(r.a, r.tuple(1))
+		res, err := it.TracePath(r.host(r.a), r.a, r.tuple(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +144,7 @@ func TestINTAlwaysCompleteAndSeesQueues(t *testing.T) {
 	// Inject queue on a path link; INT must report it.
 	path, _ := r.net.PathOf(r.a, r.tuple(1))
 	r.net.InjectQueue(path[2], 4<<20)
-	res, _ := it.TracePath(r.a, r.tuple(1))
+	res, _ := it.TracePath(r.host(r.a), r.a, r.tuple(1))
 	var seen sim.Time
 	for _, h := range res.Hops {
 		if h.Link == path[2] {
@@ -180,7 +183,7 @@ func BenchmarkTraceroute(b *testing.B) {
 	tuple := r.tuple(5)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := tr.TracePath(r.a, tuple); err != nil {
+		if _, err := tr.TracePath(r.host(r.a), r.a, tuple); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,11 +198,11 @@ func TestRateLimitPerSwitchIsolation(t *testing.T) {
 	tr.Burst = 2
 	// Exhaust the budget along a->b.
 	for i := 0; i < 10; i++ {
-		if _, err := tr.TracePath(r.a, r.tuple(1)); err != nil {
+		if _, err := tr.TracePath(r.host(r.a), r.a, r.tuple(1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := tr.TracePath(r.a, r.tuple(1))
+	res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +218,7 @@ func TestRateLimitPerSwitchIsolation(t *testing.T) {
 	c := r.tp.RNICsUnderToR("tor-0-1")[0]
 	d := r.tp.RNICsUnderToR("tor-1-1")[0]
 	other := ecmp.RoCETuple(r.tp.RNICs[c].IP, r.tp.RNICs[d].IP, 9)
-	res2, err := tr.TracePath(c, other)
+	res2, err := tr.TracePath(r.host(c), c, other)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +233,7 @@ func TestDestinationHopUnmetered(t *testing.T) {
 	tr := NewTraceroute(r.eng, r.net)
 	tr.PerSwitchRPS = 1e9
 	tr.Burst = 1e9
-	res, err := tr.TracePath(r.a, r.tuple(2))
+	res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +248,7 @@ func TestTraceTimestamp(t *testing.T) {
 	r := newRig(t)
 	tr := NewTraceroute(r.eng, r.net)
 	r.eng.RunUntil(5 * sim.Second)
-	res, err := tr.TracePath(r.a, r.tuple(3))
+	res, err := tr.TracePath(r.host(r.a), r.a, r.tuple(3))
 	if err != nil {
 		t.Fatal(err)
 	}
