@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci serve-smoke \
+.PHONY: all build vet test race bench ci serve-smoke fed-smoke \
 	soak soak-selftest bench-json bench-baseline bench-check determinism lint
 
 all: build
@@ -15,10 +15,12 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages (analyzer worker pool, ingest
-# pipeline, tsdb, wire, and the alert/API console tier) get a dedicated
-# race pass with repetition; everything else runs once.
+# pipeline, tsdb, wire, the alert/API console tier, and the federated
+# control plane) get a dedicated race pass with repetition; everything
+# else runs once.
 race:
 	$(GO) test -race -count=2 ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
+	$(GO) test -race -count=2 ./internal/fed
 	$(GO) test -race ./...
 
 # Boot the live daemon with the ops console and smoke-test it over real
@@ -57,6 +59,12 @@ bench:
 # non-zero with a minimized repro line on any invariant violation.
 soak:
 	$(GO) run ./cmd/rpmesh-soak -scenarios 5 -budget 100s
+
+# Deterministic 3-node federation acceptance check: inject a fabric
+# fault every node sees, assert one quorum-confirmed incident opens and
+# resolves on every replica, verify bit-identical convergence.
+fed-smoke:
+	$(GO) run ./cmd/rpmesh-controller -fed-smoke
 
 # Prove the invariant suite has teeth: -tags chaosbreak deliberately
 # stops counting DropOldest sheds (internal/pipeline/accounting_break.go)
@@ -101,6 +109,8 @@ determinism:
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestShardedGoldenEquivalence' .
 	GOMAXPROCS=1 $(GO) test -count=2 ./internal/chaos -run 'TestDeterminism|TestShardedScenario'
 	GOMAXPROCS=8 $(GO) test -count=2 ./internal/chaos -run 'TestDeterminism|TestShardedScenario'
+	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestFedDeterminism' ./internal/fed ./internal/chaos
+	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestFedDeterminism' ./internal/fed ./internal/chaos
 
 # --- static analysis ---------------------------------------------------
 

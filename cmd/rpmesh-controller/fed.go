@@ -1,0 +1,238 @@
+// Federated deployment modes of rpmesh-controller.
+//
+// -fed-nodes N boots an in-process federated control plane (internal/fed):
+// N peer controller/analyzer stacks over one simulated fabric, each
+// probing its own pod shard, coordinating per analysis window — leader
+// election from heartbeats, quorum incident confirmation, IncidentSync
+// reconciliation. The ops console (-serve) fronts node 0 and exposes the
+// federation through /api/peers and the quorum-aware /healthz.
+//
+// -fed-smoke runs the deterministic 3-node acceptance check: inject a
+// fabric fault every vantage point can see, assert exactly one
+// quorum-confirmed incident opens on every replica, clear the fault,
+// assert it resolves, and verify all replicas converged bit-identically.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rpingmesh/internal/api"
+	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/fed"
+	"rpingmesh/internal/topo"
+)
+
+type fedOptions struct {
+	nodes   int
+	quorum  int
+	seed    int64
+	windows int           // 0: run until interrupted
+	window  time.Duration // wall-clock pacing per coordination step
+	serve   string        // ops console address ("" disables)
+}
+
+// runFedMode drives a live in-process federation: one coordination step
+// per -analyzer-window of wall time, console over node 0. Returns the
+// process exit code.
+func runFedMode(o fedOptions) int {
+	d, err := fed.NewDeploy(fed.DeployConfig{
+		Fed:  fed.Config{Nodes: o.nodes, Quorum: o.quorum, Secret: uint64(o.seed) * 2654435761},
+		Seed: o.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fed: %v\n", err)
+		return 1
+	}
+	n0 := d.Node(0)
+
+	var console *api.Server
+	if o.serve != "" {
+		console = api.New(api.Backend{
+			Windows: n0.Cluster.Analyzer, TSDB: n0.Cluster.TSDB,
+			Pipeline: n0.Cluster.Ingest, Alerts: n0.Replica().Engine(),
+			Peers: n0,
+		}, api.Config{Addr: o.serve})
+		if err := console.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "ops console: %v\n", err)
+			return 1
+		}
+		fmt.Printf("ops console serving http://%s\n", console.Addr())
+		fmt.Printf("http-addr=%s\n", console.Addr())
+	}
+	fmt.Printf("rpmesh-controller federation: %d nodes, quorum %d, seed %d, %s windows\n",
+		d.Nodes(), o.quorum, o.seed, o.window)
+
+	tick := time.NewTicker(o.window)
+	defer tick.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	done := func() int {
+		if console != nil {
+			if err := console.Shutdown(context.Background()); err != nil {
+				fmt.Printf("ops console shutdown: %v\n", err)
+			}
+		}
+		fmt.Printf("leader history: %s\n", leaderHistoryString(d.LeaderHistory()))
+		return 0
+	}
+	for {
+		select {
+		case <-tick.C:
+			info := d.Step()
+			st := n0.FedStatus()
+			fmt.Printf("fed: window=%d leader=%d applied_seq=%d quorum_ok=%v incidents=%d\n",
+				info.Window, info.Leader, n0.Replica().AppliedSeq(), st.QuorumOK,
+				len(n0.Replica().Timeline()))
+			for _, e := range info.Errors {
+				fmt.Printf("  fed error: %s\n", e)
+			}
+			if o.windows > 0 && d.Steps() >= o.windows {
+				return done()
+			}
+		case <-sig:
+			fmt.Println("shutting down")
+			return done()
+		}
+	}
+}
+
+// runFedSmoke is the `make fed-smoke` payload. Deterministic end to end:
+// fixed seed, lockstep advance, no wall-clock dependence.
+func runFedSmoke() int {
+	const (
+		seed   = 1
+		secret = 0xfed5
+	)
+	d, err := fed.NewDeploy(fed.DeployConfig{
+		Fed:  fed.Config{Nodes: 3, Quorum: 2, Secret: secret},
+		Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fed-smoke: deploy: %v\n", err)
+		return 1
+	}
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Fprintf(os.Stderr, "fed-smoke: FAIL: "+format+"\n", args...)
+	}
+	d.OnStep(func(info fed.StepInfo) {
+		for _, e := range info.Errors {
+			fail("step w%d: %s", info.Window, e)
+		}
+		if info.DoubleCommit {
+			fail("step w%d: double commit", info.Window)
+		}
+		if a := d.Accounting(); !a.Balanced() {
+			fail("step w%d: vote ledger unbalanced: %s", info.Window, a)
+		}
+	})
+
+	// Two clean windows, then corrupt the lowest agg→spine link on every
+	// node's replica of the fabric — a fault all three vantage points see.
+	d.Run(2)
+	link := lowestSpineLink(d.Node(0).Cluster.Topo)
+	if link < 0 {
+		fail("no agg→spine link in topology")
+		return 1
+	}
+	var injectors []*faultgen.Injector
+	for i := 0; i < d.Nodes(); i++ {
+		inj := faultgen.NewInjector(d.Node(i).Cluster, 42)
+		if _, err := inj.Inject(faultgen.Fault{
+			Cause: faultgen.PacketCorruption, Link: link, Severity: 0.5,
+		}); err != nil {
+			fail("inject node %d: %v", i, err)
+			return 1
+		}
+		injectors = append(injectors, inj)
+	}
+	d.Run(6)
+
+	key := fmt.Sprintf("link:%d/switch-link", int(link))
+	opens := countEvents(d.Node(0).Replica().Timeline(), "open", key)
+	if opens != 1 {
+		fail("after fault: %d quorum incident opens for %s, want exactly 1; timeline:\n%s",
+			opens, key, strings.Join(d.Node(0).Replica().Timeline(), "\n"))
+	}
+
+	// Clear the fault; quorum is lost and hysteresis resolves the incident.
+	for _, inj := range injectors {
+		inj.ClearAll()
+	}
+	d.Run(10)
+	if n := countEvents(d.Node(0).Replica().Timeline(), "resolve", key); n != 1 {
+		fail("after clear: %d resolves for %s, want exactly 1; timeline:\n%s",
+			n, key, strings.Join(d.Node(0).Replica().Timeline(), "\n"))
+	}
+
+	// Every replica must hold the identical log and incident timeline.
+	r0 := d.Node(0).Replica()
+	for i := 1; i < d.Nodes(); i++ {
+		r := d.Node(i).Replica()
+		if r.AppliedSeq() != r0.AppliedSeq() || r.Digest() != r0.Digest() ||
+			r.TimelineDigest() != r0.TimelineDigest() {
+			fail("replica %d diverged: seq=%d digest=%x tl=%x vs node 0 seq=%d digest=%x tl=%x",
+				i, r.AppliedSeq(), r.Digest(), r.TimelineDigest(),
+				r0.AppliedSeq(), r0.Digest(), r0.TimelineDigest())
+		}
+	}
+	for i := 0; i < d.Nodes(); i++ {
+		if err := d.Node(i).Replica().Engine().CheckInvariants(); err != nil {
+			fail("replica %d alert invariants: %v", i, err)
+		}
+	}
+
+	if !ok {
+		return 1
+	}
+	fmt.Printf("fed-smoke: ok — 3 nodes, quorum 2, %d windows, incident %s opened and resolved on every replica\n",
+		d.Steps(), key)
+	fmt.Printf("fed-smoke: leader history: %s\n", leaderHistoryString(d.LeaderHistory()))
+	return 0
+}
+
+// lowestSpineLink finds the lowest-ID agg→spine link: the fabric link
+// inter-ToR probes from every pod traverse.
+func lowestSpineLink(tp *topo.Topology) topo.LinkID {
+	best := topo.LinkID(-1)
+	for _, l := range tp.Links {
+		from, to := tp.Switches[l.From], tp.Switches[l.To]
+		if from == nil || to == nil {
+			continue
+		}
+		if from.Tier == topo.TierAgg && to.Tier == topo.TierSpine {
+			if best < 0 || l.ID < best {
+				best = l.ID
+			}
+		}
+	}
+	return best
+}
+
+// countEvents counts timeline lines carrying both the event type and the
+// incident key.
+func countEvents(timeline []string, event, key string) int {
+	n := 0
+	for _, l := range timeline {
+		if strings.Contains(l, " "+event+" ") && strings.Contains(l, key) {
+			n++
+		}
+	}
+	return n
+}
+
+func leaderHistoryString(hist []int) string {
+	parts := make([]string, len(hist))
+	for i, l := range hist {
+		parts[i] = fmt.Sprintf("%d", l)
+	}
+	return strings.Join(parts, ",")
+}

@@ -142,7 +142,23 @@ func main() {
 	serve := flag.String("serve", "", "ops-console HTTP listen address (e.g. :8080); empty disables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped on shutdown)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on shutdown")
+	fedNodes := flag.Int("fed-nodes", 0, "run an in-process federated control plane with N nodes (quorum incident confirmation); 0 disables")
+	fedQuorum := flag.Int("fed-quorum", 0, "votes needed to confirm an incident (0: majority of -fed-nodes)")
+	fedSeed := flag.Int64("fed-seed", 1, "seed for the federated deployment's simulated fabric")
+	fedWindows := flag.Int("fed-windows", 0, "with -fed-nodes, stop after N coordination windows (0: run until interrupted)")
+	fedSmoke := flag.Bool("fed-smoke", false, "run the deterministic 3-node federation smoke check and exit")
 	flag.Parse()
+
+	// Federation modes run their own loop; dispatch before the daemon path.
+	if *fedSmoke {
+		os.Exit(runFedSmoke())
+	}
+	if *fedNodes > 1 {
+		os.Exit(runFedMode(fedOptions{
+			nodes: *fedNodes, quorum: *fedQuorum, seed: *fedSeed,
+			windows: *fedWindows, window: *anWindow, serve: *serve,
+		}))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -2,7 +2,11 @@
 // monitoring stack under a wall-clock budget. Each scenario shakes the
 // stack (agent crashes, wire severs, pipeline floods, reader stalls,
 // clock skew — optionally with faultgen network faults underneath) while
-// the invariant suite audits every analysis window. On any violation the
+// the invariant suite audits every analysis window. Every fifth scenario
+// targets the federated control plane instead: node partitions,
+// coordinator kills mid-window and vote delays against a 3-node quorum,
+// audited by the federation invariants (log agreement, vote
+// conservation, liveness, single-commit). On any violation the
 // driver greedily minimizes the scenario (drop chaos kinds, halve the
 // horizon — per-kind PRNG streams keep surviving timelines stable) and
 // exits non-zero with a copy-pasteable repro line.
@@ -34,6 +38,7 @@ func main() {
 		wire       = flag.Bool("wire", false, "force the loopback-TCP control plane on every scenario (default alternates)")
 		netFaults  = flag.Bool("net-faults", false, "force faultgen network faults on every scenario (default every third)")
 		shards     = flag.Int("shards", 0, "force the pod-sharded parallel engine with N shards on every scenario (default alternates serial and 2-shard)")
+		fedNodes   = flag.Int("fed-nodes", 0, "force a federated deployment with N nodes on every scenario (default: every fifth scenario runs 3-node)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose    = flag.Bool("v", false, "per-scenario detail")
@@ -112,6 +117,12 @@ func main() {
 		if i%2 == 1 {
 			sc.Shards = 2
 		}
+		// Every fifth scenario runs the federated control plane, so a
+		// default run always includes node partitions, coordinator kills
+		// mid-window, and vote delays against a 3-node quorum.
+		if i%5 == 3 {
+			sc.FedNodes = 3
+		}
 		if pinned["policy"] {
 			sc.Policy = fixedPolicy
 		}
@@ -124,6 +135,9 @@ func main() {
 		if pinned["shards"] {
 			sc.Shards = *shards
 		}
+		if pinned["fed-nodes"] {
+			sc.FedNodes = *fedNodes
+		}
 
 		res, err := chaos.Run(sc)
 		if err != nil {
@@ -135,10 +149,13 @@ func main() {
 		if res.Failed() {
 			status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
 		}
-		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
-			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards,
+		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d fed=%d events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
+			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards, sc.FedNodes,
 			len(res.Events), res.Windows,
 			res.Pipeline.Dropped(), res.Pipeline.ResultsShed, res.Pipeline.BlockWaits, status)
+		if len(res.LeaderHistory) > 0 && *verbose {
+			fmt.Printf("  leaders: %s\n", leaderLine(res.LeaderHistory))
+		}
 		if *verbose {
 			fmt.Printf("  fingerprint: %s\n", res.Fingerprint)
 		}
@@ -147,6 +164,19 @@ func main() {
 		}
 	}
 	fmt.Printf("soak: %d scenarios green in %.1fs\n", ran, time.Since(start).Seconds())
+}
+
+// leaderLine renders a federated run's per-window committing leader
+// (-1: no commit that window).
+func leaderLine(hist []int) string {
+	out := make([]byte, 0, 2*len(hist))
+	for i, l := range hist {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = fmt.Appendf(out, "%d", l)
+	}
+	return string(out)
 }
 
 // flushProfiles stops/writes any requested pprof profiles; main chains
@@ -176,6 +206,11 @@ func fail(res *chaos.Result, deadline time.Time) {
 	}
 	min := minimize(res.Scenario, deadline)
 	fmt.Printf("\nminimized repro:\n  rpmesh-soak %s\n", min.ReproArgs())
+	if len(res.LeaderHistory) > 0 {
+		// Which node committed each window: the first thing a federation
+		// failure post-mortem wants next to the repro.
+		fmt.Printf("  elected-leader history: %s\n", leaderLine(res.LeaderHistory))
+	}
 	flushProfiles()
 	os.Exit(1)
 }

@@ -1,0 +1,125 @@
+package alert
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with observed output")
+
+// quorumSource simulates an external incident source — the federation
+// tier's quorum evaluator — driving the Engine: each window it either
+// confirms the entity (quorum of nodes voted it problematic) and emits
+// the synthesized problem, or reports the window clean (quorum lost).
+type quorumSource struct {
+	engine *Engine
+	window int
+}
+
+const quorumWindowDur = 20 * sim.Second
+
+func (q *quorumSource) step(confirmed bool) {
+	rep := analyzer.WindowReport{
+		Index: q.window,
+		Start: sim.Time(q.window) * quorumWindowDur,
+		End:   sim.Time(q.window+1) * quorumWindowDur,
+	}
+	if confirmed {
+		rep.Problems = []analyzer.Problem{{
+			Kind: analyzer.ProblemSwitchLink, Priority: analyzer.P2,
+			Link: 4, Evidence: 5, Window: q.window,
+		}}
+	}
+	q.engine.Observe(rep)
+	q.window++
+}
+
+// TestQuorumBoundaryNoFlap pins the hysteresis contract for an
+// externally confirmed incident: a quorum-confirmed open followed by a
+// quorum-lost close at exactly the hysteresis boundary (ResolveAfter
+// clean windows, not one fewer) must produce a clean open → resolve →
+// reopen → resolve timeline on ONE incident — no flap suppression, no
+// duplicate incidents, and no resolve one window early.
+func TestQuorumBoundaryNoFlap(t *testing.T) {
+	eng := NewEngine(Config{ResolveAfter: 3, FlapThreshold: 3, FlapWindow: 30})
+	var timeline []string
+	eng.AddNotifier(NotifierFunc(func(ev Event) {
+		timeline = append(timeline, fmt.Sprintf("w%d %s #%d %s sev=%s",
+			ev.Window, ev.Type, ev.Incident.ID, ev.Incident.Key, ev.Incident.Severity))
+	}))
+	q := &quorumSource{engine: eng}
+
+	// w0: quorum confirms — incident opens.
+	q.step(true)
+	// w1–w3: quorum lost. The third clean window (w3) is exactly the
+	// hysteresis boundary: the incident resolves there and not at w2.
+	q.step(false)
+	q.step(false)
+	for _, l := range timeline {
+		if strings.Contains(l, "resolve") {
+			t.Fatalf("resolved one window before the hysteresis boundary: %v", timeline)
+		}
+	}
+	q.step(false)
+	// w4: quorum re-confirms inside the flap horizon — the SAME incident
+	// reopens; a second incident would be alert churn.
+	q.step(true)
+	// w5–w6: quorum lost again, one window SHORT of the boundary…
+	q.step(false)
+	q.step(false)
+	// w7: …and re-confirmed right at the edge. The incident must still be
+	// open (no resolve fired at clean streak 2), so this folds silently
+	// instead of churning out a resolve+reopen pair.
+	q.step(true)
+	// w8–w10: quorum lost for a full hysteresis period — final resolve.
+	q.step(false)
+	q.step(false)
+	q.step(false)
+
+	got := strings.Join(timeline, "\n") + "\n"
+	golden := filepath.Join("testdata", "quorum_boundary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("quorum boundary timeline drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The timeline must be one incident flapping exactly once — never
+	// suppressed, never duplicated.
+	ins := eng.Incidents(Filter{})
+	if len(ins) != 1 {
+		t.Fatalf("engine holds %d incidents, want 1: %+v", len(ins), ins)
+	}
+	in := ins[0]
+	if in.State != StateResolved || in.Suppressed {
+		t.Fatalf("incident end state = %v suppressed=%v, want resolved unsuppressed", in.State, in.Suppressed)
+	}
+	if in.Opens != 2 || in.Flaps != 1 {
+		t.Fatalf("Opens=%d Flaps=%d, want 2/1", in.Opens, in.Flaps)
+	}
+	for _, l := range timeline {
+		if strings.Contains(l, "suppress") {
+			t.Fatalf("boundary open/close cycle was flap-suppressed: %v", timeline)
+		}
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

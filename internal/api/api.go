@@ -77,6 +77,10 @@ type Backend struct {
 	Pipeline StatsSource
 	Alerts   *alert.Engine
 	Diagnose DiagnoseFunc
+	// Peers, when set, makes this a federation node's console: /api/peers
+	// serves the node's role/peer table, and /healthz degrades to 503
+	// while the node cannot hear a quorum of the federation.
+	Peers PeerSource
 }
 
 // Config tunes the server; zero values take the defaults.
@@ -135,6 +139,7 @@ func New(b Backend, cfg Config) *Server {
 		mux.Handle(pattern, s.instrument(name, h))
 	}
 	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /api/peers", "peers", s.handlePeers)
 	route("GET /api/incidents", "incidents", s.handleIncidents)
 	route("GET /api/incidents/{id}", "incident", s.handleIncident)
 	route("GET /api/alerts/stats", "alerts_stats", s.handleAlertStats)
@@ -312,6 +317,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.b.Alerts != nil {
 		st := s.b.Alerts.Stats()
 		resp["incidents_active"] = st.ActiveCount
+	}
+	if s.b.Peers != nil {
+		fs := s.b.Peers.FedStatus()
+		resp["fed"] = map[string]any{
+			"node": fs.Node, "role": fs.Role, "leader": fs.Leader,
+			"quorum_ok": fs.QuorumOK, "applied_seq": fs.AppliedSeq,
+		}
+		if !fs.QuorumOK {
+			// The node still serves local reads, but globally confirmed
+			// incident state may be stale: fail the health check with the
+			// reason so load balancers rotate traffic to a connected node.
+			resp["status"] = "degraded"
+			resp["reason"] = fs.Reason
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

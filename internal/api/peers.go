@@ -1,0 +1,47 @@
+package api
+
+import "net/http"
+
+// PeerStatus is one federation peer as seen from the serving node.
+type PeerStatus struct {
+	Node int `json:"node"`
+	// Alive reports whether the peer's last heartbeat is recent enough to
+	// count it live; LastHeartbeatAge is that age in analysis windows
+	// (-1: never heard).
+	Alive            bool   `json:"alive"`
+	LastHeartbeatAge int    `json:"last_heartbeat_age_windows"`
+	AppliedSeq       uint64 `json:"applied_seq"`
+	// Leader marks the peer this node currently follows.
+	Leader bool `json:"leader,omitempty"`
+}
+
+// FedStatus is a federation node's self-report: its role, leader view,
+// replication progress, quorum availability and peer table. fed.Node
+// implements PeerSource; single-process deployments leave Backend.Peers
+// nil and keep the classic always-200 health check.
+type FedStatus struct {
+	Node       int          `json:"node"`
+	Nodes      int          `json:"nodes"`
+	Quorum     int          `json:"quorum"`
+	Role       string       `json:"role"` // "leader" or "follower"
+	Leader     int          `json:"leader"`
+	Window     int          `json:"window"`
+	AppliedSeq uint64       `json:"applied_seq"`
+	QuorumOK   bool         `json:"quorum_ok"`
+	Reason     string       `json:"reason,omitempty"`
+	Peers      []PeerStatus `json:"peers,omitempty"`
+}
+
+// PeerSource reports federation state for /api/peers and the
+// quorum-aware /healthz.
+type PeerSource interface {
+	FedStatus() FedStatus
+}
+
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	if s.b.Peers == nil {
+		writeErr(w, http.StatusServiceUnavailable, "federation not wired (single-node deployment)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.b.Peers.FedStatus())
+}

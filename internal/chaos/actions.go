@@ -60,6 +60,11 @@ func (h *harness) schedule(ev Event, horizon sim.Time) {
 		endClocks := h.drawClocks(hid)
 		eng.At(ev.At, func() { h.skewHost(hid, atClocks) })
 		eng.At(end, func() { h.skewHost(hid, endClocks) })
+
+	case NodePartition, CoordinatorKill, VoteDelay:
+		// Federation faults: the fed harness schedules these (fed.go); on
+		// a single-node scenario there is nothing to partition or depose.
+		return
 	}
 }
 

@@ -61,6 +61,18 @@ const (
 	// new random offsets mid-run (NTP step / VM migration), and steps
 	// them again when the event ends.
 	ClockSkew
+	// NodePartition isolates one federation node from every peer: its
+	// cluster keeps probing and voting into the outbox, reconciling on
+	// heal. Only meaningful when Scenario.FedNodes > 1.
+	NodePartition
+	// CoordinatorKill takes the current federation leader's coordination
+	// process down mid-window, forcing a failover, and revives it later
+	// (failback once IncidentSync catches it up). FedNodes > 1 only.
+	CoordinatorKill
+	// VoteDelay withholds one federation node's vote deliveries while
+	// letting everything else flow — the arrival-interleaving knob the
+	// determinism invariant exercises. FedNodes > 1 only.
+	VoteDelay
 
 	// NumKinds counts the action kinds.
 	NumKinds
@@ -78,6 +90,12 @@ func (k Kind) String() string {
 		return "reader-stall"
 	case ClockSkew:
 		return "clock-skew"
+	case NodePartition:
+		return "node-partition"
+	case CoordinatorKill:
+		return "coordinator-kill"
+	case VoteDelay:
+		return "vote-delay"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -185,6 +203,12 @@ type Scenario struct {
 	// pure function of the scenario; sharding is exercised for races and
 	// determinism, not different behavior.
 	Shards int
+	// FedNodes > 1 runs the scenario against a federated deployment
+	// (fed.Deploy): FedNodes peer nodes with quorum incident
+	// confirmation, chaos drawn from the federation kinds
+	// (node-partition, coordinator-kill, vote-delay), and the federation
+	// invariant suite instead of the single-cluster one.
+	FedNodes int
 }
 
 func (sc *Scenario) setDefaults() {
@@ -229,6 +253,9 @@ func (sc Scenario) ReproArgs() string {
 	if sc.Shards > 1 {
 		args += fmt.Sprintf(" -shards %d", sc.Shards)
 	}
+	if sc.FedNodes > 1 {
+		args += fmt.Sprintf(" -fed-nodes %d", sc.FedNodes)
+	}
 	return args
 }
 
@@ -265,6 +292,12 @@ type Result struct {
 	// Pipeline is the ingest tier's final counter snapshot — soak output
 	// and tests read drop/shed/block activity from here.
 	Pipeline pipeline.Stats
+
+	// LeaderHistory records the committing federation leader of every
+	// coordination step (-1 where no commit happened); empty for
+	// non-federated scenarios. Soak repro lines print it so a failover
+	// sequence can be read straight off a violation report.
+	LeaderHistory []int
 
 	// Fingerprint summarizes the run for determinism checks: two runs
 	// of the same Scenario must produce identical fingerprints.

@@ -1,0 +1,334 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rpingmesh/internal/api"
+	"rpingmesh/internal/core"
+	"rpingmesh/internal/fed"
+	"rpingmesh/internal/pipeline"
+	"rpingmesh/internal/sim"
+)
+
+// FedKinds returns the chaos kinds that act on a federated deployment.
+func FedKinds() []Kind { return []Kind{NodePartition, CoordinatorKill, VoteDelay} }
+
+// fedKindsOf filters a scenario's kind set down to the federation kinds;
+// an empty intersection enables all of them (a federated scenario that
+// exercises no federation fault tests nothing).
+func fedKindsOf(kinds []Kind) []Kind {
+	var out []Kind
+	for _, k := range kinds {
+		switch k {
+		case NodePartition, CoordinatorKill, VoteDelay:
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		return FedKinds()
+	}
+	return out
+}
+
+// fedHarness is one federated scenario's live state: the lockstep
+// deployment under test plus the federation invariant bookkeeping.
+type fedHarness struct {
+	sc *Scenario
+	d  *fed.Deploy
+
+	// Ops console over node 0's local stack and global incident engine,
+	// driven in-process; the quorum-aware /healthz is checked every step
+	// against node 0's own federation status.
+	console *api.Server
+
+	// Per-kind target-selection PRNGs, mirroring the single-node harness.
+	targets map[Kind]*rand.Rand
+
+	// lastLeader is the most recent committing leader (for the
+	// coordinator-kill target), never -1 after the first commit.
+	lastLeader int
+
+	// healthyMisses counts consecutive steps where a majority of nodes
+	// was up and connected yet nobody committed. Election tolerates one
+	// stale window after an outage (a dead node lingers in peer tables
+	// for HeartbeatMiss windows when replication was stalled), so
+	// liveness only fires when the misses exceed that tolerance.
+	healthyMisses int
+
+	lastWindow int
+	violations []Violation
+}
+
+func (h *fedHarness) violate(name string, window int, format string, args ...any) {
+	if len(h.violations) >= maxViolations {
+		return
+	}
+	h.violations = append(h.violations, Violation{
+		Invariant: name, Window: window, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// runFed executes one federated scenario: FedNodes fed nodes in lockstep,
+// chaos drawn from the federation kinds, the federation invariant suite
+// after every coordination step, and convergence checks after recovery.
+func runFed(sc Scenario) (*Result, error) {
+	d, err := fed.NewDeploy(fed.DeployConfig{
+		Fed: fed.Config{
+			Nodes:  sc.FedNodes,
+			Secret: uint64(sc.Seed)*2654435761 + 0xfed,
+		},
+		Seed: sc.Seed,
+		Configure: func(node int, cfg *core.Config) {
+			cfg.Pipeline = pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: fed deploy: %w", err)
+	}
+	h := &fedHarness{
+		sc:         &sc,
+		d:          d,
+		targets:    make(map[Kind]*rand.Rand),
+		lastWindow: -1,
+	}
+	for _, k := range AllKinds() {
+		h.targets[k] = rand.New(rand.NewSource(kindSeed(sc.Seed, k+NumKinds)))
+	}
+	n0 := d.Node(0)
+	h.console = api.New(api.Backend{
+		Windows: n0.Cluster.Analyzer, TSDB: n0.Cluster.TSDB,
+		Pipeline: n0.Cluster.Ingest, Alerts: n0.Replica().Engine(),
+		Peers: n0,
+	}, api.Config{})
+	d.OnStep(h.afterStep)
+
+	// Draw the chaos timeline from the federation kinds' own streams and
+	// arm every event on the deploy's window-boundary scheduler.
+	fedSc := sc
+	fedSc.Kinds = fedKindsOf(sc.Kinds)
+	events := generate(&fedSc, d.Window())
+	horizon := sim.Time(sc.Windows) * d.Window()
+	for _, ev := range events {
+		h.schedule(ev, horizon)
+	}
+
+	d.Run(sc.Windows)
+	h.recover()
+	d.Run(sc.RecoveryWindows)
+	h.checkConverged()
+
+	acct := d.Accounting()
+	return &Result{
+		Scenario:      sc,
+		Events:        events,
+		Windows:       d.Steps(),
+		Violations:    h.violations,
+		Pipeline:      n0.Cluster.Ingest.Stats(),
+		LeaderHistory: d.LeaderHistory(),
+		Fingerprint: fmt.Sprintf("fed[n=%d steps=%d maxseq=%d digest=%x tl=%x leaders=%v] votes[%s] viol=%d",
+			sc.FedNodes, d.Steps(), d.MaxSeq(), digestAt(d, d.MaxSeq()),
+			n0.Replica().TimelineDigest(), d.LeaderHistory(), acct, len(h.violations)),
+	}, nil
+}
+
+func digestAt(d *fed.Deploy, seq uint64) uint64 {
+	dg, _ := d.CanonicalDigest(seq)
+	return dg
+}
+
+// schedule arms one federation chaos event: applied at the first window
+// boundary at or after At, unwound at min(At+Duration, horizon).
+func (h *fedHarness) schedule(ev Event, horizon sim.Time) {
+	end := ev.At + ev.Duration
+	if end > horizon {
+		end = horizon
+	}
+	switch ev.Kind {
+	case NodePartition:
+		i := h.targets[NodePartition].Intn(h.d.Nodes())
+		h.d.At(ev.At, func() { h.d.Partition(i, true) })
+		h.d.At(end, func() { h.d.Partition(i, false) })
+
+	case CoordinatorKill:
+		// The victim is whoever is leading when the event fires — that is
+		// the whole point of the action — so it is resolved at apply time
+		// (deterministically: lastLeader is a pure function of the run).
+		victim := -1
+		h.d.At(ev.At, func() {
+			victim = h.lastLeader
+			h.d.Kill(victim, true)
+		})
+		h.d.At(end, func() {
+			if victim >= 0 {
+				h.d.Kill(victim, false)
+			}
+		})
+
+	case VoteDelay:
+		i := h.targets[VoteDelay].Intn(h.d.Nodes())
+		h.d.At(ev.At, func() { h.d.DelayVotes(i, true) })
+		h.d.At(end, func() { h.d.DelayVotes(i, false) })
+	}
+}
+
+// recover heals every outstanding federation fault so the recovery
+// windows measure a federation allowed to reconcile.
+func (h *fedHarness) recover() {
+	for i := 0; i < h.d.Nodes(); i++ {
+		if h.d.Killed(i) {
+			h.d.Kill(i, false)
+		}
+		if h.d.Partitioned(i) {
+			h.d.Partition(i, false)
+		}
+		h.d.DelayVotes(i, false)
+	}
+}
+
+// healthy reports whether a majority of nodes is up and connected this
+// step — the precondition under which the federation must make progress.
+func (h *fedHarness) healthy() bool {
+	up := 0
+	for i := 0; i < h.d.Nodes(); i++ {
+		if !h.d.Killed(i) && !h.d.Partitioned(i) {
+			up++
+		}
+	}
+	return up >= h.sc.FedNodes/2+1
+}
+
+// afterStep is the federation invariant sweep, run after every
+// coordination step.
+func (h *fedHarness) afterStep(info fed.StepInfo) {
+	win := info.Window
+
+	// Steps are gapless and in order.
+	if win != h.lastWindow+1 {
+		h.violate("fed-step-seq", win, "step window %d follows %d", win, h.lastWindow)
+	}
+	if win > h.lastWindow {
+		h.lastWindow = win
+	}
+
+	// No replica ever rejects a round or diverges from the chain.
+	for _, e := range info.Errors {
+		h.violate("fed-log-divergence", win, "%s", e)
+	}
+	// No window's round is committed by two leaders — the split-brain
+	// invariant (an incident opened under two leaders would follow).
+	if info.DoubleCommit {
+		h.violate("fed-double-commit", win, "two nodes committed window %d", win)
+	}
+	if info.Leader >= 0 {
+		h.lastLeader = info.Leader
+	}
+
+	// Liveness: a healthy majority must commit, modulo one stale-election
+	// window after an outage.
+	if h.healthy() {
+		if info.Leader < 0 {
+			h.healthyMisses++
+			if h.healthyMisses > 1 {
+				h.violate("fed-liveness", win,
+					"%d consecutive healthy steps without a commit", h.healthyMisses)
+			}
+		} else {
+			h.healthyMisses = 0
+		}
+	} else {
+		h.healthyMisses = 0
+	}
+
+	// Vote conservation: every emitted vote is counted canonically, still
+	// buffered, expired node-side, or dropped-and-counted by a replica.
+	if acct := h.d.Accounting(); !acct.Balanced() {
+		h.violate("fed-vote-conservation", win, "ledger unbalanced: %s", acct)
+	}
+
+	h.checkReplicaAgreement(win)
+
+	// Every replica's incident engine stays structurally sound (no
+	// double-open per key — the "no incident double-opened" invariant).
+	for i := 0; i < h.d.Nodes(); i++ {
+		if err := h.d.Node(i).Replica().Engine().CheckInvariants(); err != nil {
+			h.violate("fed-alert-consistency", win, "node %d: %v", i, err)
+		}
+	}
+
+	// The ops console answers every step, and its quorum-aware /healthz
+	// agrees with node 0's own federation status: 200 while quorum holds,
+	// 503 with a reason while it does not.
+	want := 0 // Check treats 0 as 200
+	if st := h.d.Node(0).FedStatus(); !st.QuorumOK {
+		want = 503
+	}
+	if err := h.console.Check("/healthz", want); err != nil {
+		h.violate("fed-api-health", win, "%v", err)
+	}
+	if err := h.console.Check("/api/peers", 0); err != nil {
+		h.violate("fed-api-health", win, "%v", err)
+	}
+}
+
+// checkReplicaAgreement: equal applied seq implies equal log digest and
+// equal incident timeline, and every replica's head matches the
+// deploy-wide canonical round at its seq — "no incident lost or
+// double-opened across failover" reduced to log identity.
+func (h *fedHarness) checkReplicaAgreement(win int) {
+	n := h.d.Nodes()
+	for i := 0; i < n; i++ {
+		ri := h.d.Node(i).Replica()
+		if dg, ok := h.d.CanonicalDigest(ri.AppliedSeq()); ok && dg != ri.Digest() {
+			h.violate("fed-replica-divergence", win,
+				"node %d digest %x at seq %d, canonical %x", i, ri.Digest(), ri.AppliedSeq(), dg)
+		}
+		for j := i + 1; j < n; j++ {
+			rj := h.d.Node(j).Replica()
+			if ri.AppliedSeq() != rj.AppliedSeq() {
+				continue
+			}
+			if ri.Digest() != rj.Digest() {
+				h.violate("fed-replica-divergence", win,
+					"nodes %d and %d at seq %d with digests %x vs %x",
+					i, j, ri.AppliedSeq(), ri.Digest(), rj.Digest())
+			}
+			if ri.TimelineDigest() != rj.TimelineDigest() {
+				h.violate("fed-timeline-divergence", win,
+					"nodes %d and %d at seq %d with timeline digests %x vs %x",
+					i, j, ri.AppliedSeq(), ri.TimelineDigest(), rj.TimelineDigest())
+			}
+		}
+	}
+}
+
+// checkConverged runs the end-of-run federation checks: after the
+// recovery windows every replica holds the same log and the same global
+// incident timeline, the ledger balances, the federation is committing
+// again, and the console is healthy.
+func (h *fedHarness) checkConverged() {
+	win := h.lastWindow
+	r0 := h.d.Node(0).Replica()
+	for i := 1; i < h.d.Nodes(); i++ {
+		ri := h.d.Node(i).Replica()
+		if ri.AppliedSeq() != r0.AppliedSeq() || ri.Digest() != r0.Digest() {
+			h.violate("fed-convergence", win,
+				"node %d ended at seq %d digest %x; node 0 at seq %d digest %x",
+				i, ri.AppliedSeq(), ri.Digest(), r0.AppliedSeq(), r0.Digest())
+		}
+		if ri.TimelineDigest() != r0.TimelineDigest() {
+			h.violate("fed-convergence", win,
+				"node %d incident timeline diverges from node 0 after recovery", i)
+		}
+	}
+	if acct := h.d.Accounting(); !acct.Balanced() {
+		h.violate("fed-vote-conservation", win, "final ledger unbalanced: %s", acct)
+	}
+	hist := h.d.LeaderHistory()
+	if len(hist) == 0 || hist[len(hist)-1] < 0 {
+		h.violate("fed-convergence", win, "no commit in the final recovery window (history %v)", hist)
+	}
+	if err := h.console.Check("/healthz", 0); err != nil {
+		h.violate("fed-convergence", win, "post-recovery healthz: %v", err)
+	}
+}

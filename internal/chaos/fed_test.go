@@ -1,0 +1,89 @@
+//go:build !chaosbreak
+
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFedScenarioGreen: the federated gauntlet — node partitions,
+// coordinator kills and vote delays against a 3-node quorum-2
+// federation — produces zero invariant violations and exercises every
+// federation kind.
+func TestFedScenarioGreen(t *testing.T) {
+	res := mustRun(t, Scenario{Seed: 1, FedNodes: 3})
+	assertGreen(t, res)
+	if res.Windows != 10 { // 8 chaos + 2 recovery
+		t.Fatalf("observed %d windows, want 10", res.Windows)
+	}
+	seen := map[Kind]bool{}
+	for _, ev := range res.Events {
+		seen[ev.Kind] = true
+	}
+	for _, k := range FedKinds() {
+		if !seen[k] {
+			t.Errorf("federation kind %s never scheduled", k)
+		}
+	}
+	if len(res.LeaderHistory) != res.Windows {
+		t.Fatalf("leader history has %d entries for %d windows", len(res.LeaderHistory), res.Windows)
+	}
+	if res.LeaderHistory[len(res.LeaderHistory)-1] < 0 {
+		t.Fatalf("no committing leader in the final window: %v", res.LeaderHistory)
+	}
+}
+
+// TestFedCoordinatorKillFailover: a scenario restricted to coordinator
+// kills must actually depose the leader at least once — the leader
+// history shows more than one distinct committing node.
+func TestFedCoordinatorKillFailover(t *testing.T) {
+	res := mustRun(t, Scenario{Seed: 6, Windows: 10, FedNodes: 3, Kinds: []Kind{CoordinatorKill}})
+	assertGreen(t, res)
+	leaders := map[int]bool{}
+	for _, l := range res.LeaderHistory {
+		if l >= 0 {
+			leaders[l] = true
+		}
+	}
+	if len(leaders) < 2 {
+		t.Fatalf("coordinator kills never forced a failover: history %v", res.LeaderHistory)
+	}
+}
+
+// TestFedDeterminismAcrossRuns: the same federated Scenario replayed is
+// bit-identical — fingerprint (which folds the canonical log digest, the
+// incident timeline digest, and the full leader history) and events.
+func TestFedDeterminismAcrossRuns(t *testing.T) {
+	sc := Scenario{Seed: 42, Windows: 8, FedNodes: 3}
+	a := mustRun(t, sc)
+	b := mustRun(t, sc)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fed fingerprints diverge:\n  a: %s\n  b: %s", a.Fingerprint, b.Fingerprint)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts diverge: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestFedReproArgs: the repro line carries the federation size and the
+// federation kinds round-trip through ParseKinds.
+func TestFedReproArgs(t *testing.T) {
+	sc := Scenario{Seed: 9, FedNodes: 3}
+	sc.setDefaults()
+	if line := sc.ReproArgs(); !strings.Contains(line, "-fed-nodes 3") {
+		t.Fatalf("repro line %q missing -fed-nodes", line)
+	}
+	ks, err := ParseKinds("node-partition,coordinator-kill,vote-delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatKinds(ks); got != "node-partition,coordinator-kill,vote-delay" {
+		t.Fatalf("FormatKinds = %q", got)
+	}
+}

@@ -170,6 +170,9 @@ func countFDs() int {
 // bring-up) only — invariant breaches land in Result.Violations.
 func Run(sc Scenario) (*Result, error) {
 	sc.setDefaults()
+	if sc.FedNodes > 1 {
+		return runFed(sc)
+	}
 	h, err := build(&sc)
 	if err != nil {
 		return nil, err

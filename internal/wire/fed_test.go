@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"rpingmesh/internal/proto"
+)
+
+// stubFed records federation calls and answers with canned replies.
+type stubFed struct {
+	mu         sync.Mutex
+	hellos     []proto.Hello
+	heartbeats []proto.Heartbeat
+	batches    []proto.VoteBatch
+	syncSince  []uint64
+}
+
+func (s *stubFed) FedHello(h proto.Hello) proto.HelloReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hellos = append(s.hellos, h)
+	return proto.HelloReply{OK: true, Node: 0, Proto: proto.FedVersion, Leader: 0, AppliedSeq: 7}
+}
+
+func (s *stubFed) FedHeartbeat(hb proto.Heartbeat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.heartbeats = append(s.heartbeats, hb)
+}
+
+func (s *stubFed) FedVotes(b proto.VoteBatch) proto.VoteAck {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = append(s.batches, b)
+	return proto.VoteAck{Accepted: true, Leader: 0, AppliedSeq: 8}
+}
+
+func (s *stubFed) FedSync(sinceSeq uint64) proto.IncidentSync {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncSince = append(s.syncSince, sinceSeq)
+	return proto.IncidentSync{From: 0, Rounds: []proto.Round{
+		{Seq: sinceSeq + 1, Window: 3, Leader: 0, PrevDigest: 11, Digest: 22},
+	}}
+}
+
+func TestFedOpsOverTCP(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fb := &stubFed{}
+	srv.SetFedBackend(fb)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	reply, err := cli.FedHello(proto.Hello{Node: 2, Proto: proto.FedVersion, AppliedSeq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.OK || reply.AppliedSeq != 7 || reply.Leader != 0 {
+		t.Fatalf("hello reply = %+v", reply)
+	}
+	if len(fb.hellos) != 1 || fb.hellos[0].Node != 2 || fb.hellos[0].AppliedSeq != 5 {
+		t.Fatalf("backend saw hellos %+v", fb.hellos)
+	}
+
+	if err := cli.FedHeartbeat(proto.Heartbeat{Node: 2, Window: 4, AppliedSeq: 5, Leader: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.heartbeats) != 1 || fb.heartbeats[0].Window != 4 {
+		t.Fatalf("backend saw heartbeats %+v", fb.heartbeats)
+	}
+
+	batch := proto.VoteBatch{
+		Node: 2, Window: 4, Proto: proto.FedVersion, Version: 9, Sig: 0xabcd,
+		Votes: []proto.ProblemVote{{
+			Node: 2, Window: 4, Entity: "link:3", Class: 1, Severity: 2,
+			Count: 1, Evidence: 6, Version: 9, Sig: 0x1234,
+		}},
+		Covered: []proto.CoverClaim{{Entity: "link:3", Class: 1}},
+	}
+	ack, err := cli.FedVotes(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Accepted || ack.AppliedSeq != 8 {
+		t.Fatalf("vote ack = %+v", ack)
+	}
+	if len(fb.batches) != 1 {
+		t.Fatalf("backend saw %d batches", len(fb.batches))
+	}
+	got := fb.batches[0]
+	if got.Sig != batch.Sig || len(got.Votes) != 1 || got.Votes[0] != batch.Votes[0] ||
+		len(got.Covered) != 1 || got.Covered[0] != batch.Covered[0] {
+		t.Fatalf("batch did not survive the round trip: %+v", got)
+	}
+
+	sync, err := cli.FedSyncSince(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sync.Rounds) != 1 || sync.Rounds[0].Seq != 42 || sync.Rounds[0].Digest != 22 {
+		t.Fatalf("sync = %+v", sync)
+	}
+	if len(fb.syncSince) != 1 || fb.syncSince[0] != 41 {
+		t.Fatalf("backend saw sync requests %v", fb.syncSince)
+	}
+}
+
+// TestFedOpsWithoutBackend: fed ops against a server with no federation
+// backend fail with an application error, not a transport failure.
+func TestFedOpsWithoutBackend(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if _, err := cli.FedHello(proto.Hello{Node: 1}); err == nil || !strings.Contains(err.Error(), "no federation backend") {
+		t.Fatalf("hello without backend: %v", err)
+	}
+	// The connection survives the refusal; a later op over the same
+	// client still reaches the server.
+	srv.SetFedBackend(&stubFed{})
+	if _, err := cli.FedHello(proto.Hello{Node: 1, Proto: proto.FedVersion}); err != nil {
+		t.Fatalf("hello after backend wired: %v", err)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/netip"
 	"sync"
+	"time"
 
 	"rpingmesh/internal/proto"
 	"rpingmesh/internal/topo"
@@ -40,6 +42,12 @@ type request struct {
 	Host     topo.HostID        `json:"host,omitempty"`
 	IP       netip.Addr         `json:"ip,omitzero"`
 	Batch    *proto.UploadBatch `json:"batch,omitempty"`
+
+	// Federation ops (fed.* — see fed.go).
+	Hello     *proto.Hello     `json:"hello,omitempty"`
+	Heartbeat *proto.Heartbeat `json:"heartbeat,omitempty"`
+	Votes     *proto.VoteBatch `json:"votes,omitempty"`
+	SinceSeq  uint64           `json:"since_seq,omitempty"`
 }
 
 type response struct {
@@ -48,6 +56,11 @@ type response struct {
 	Pinglists []proto.Pinglist `json:"pinglists,omitempty"`
 	Info      *proto.RNICInfo  `json:"info,omitempty"`
 	Found     bool             `json:"found,omitempty"`
+
+	// Federation replies.
+	HelloReply *proto.HelloReply   `json:"hello_reply,omitempty"`
+	Ack        *proto.VoteAck      `json:"ack,omitempty"`
+	Sync       *proto.IncidentSync `json:"sync,omitempty"`
 }
 
 // writeFrame writes one length-prefixed JSON frame.
@@ -91,6 +104,7 @@ type Server struct {
 	ln   net.Listener
 	ctrl proto.Controller
 	sink proto.UploadSink
+	fed  FedBackend
 
 	mu     sync.Mutex // serializes backend access
 	connWG sync.WaitGroup
@@ -234,16 +248,29 @@ func (s *Server) dispatch(req *request) response {
 		}
 		s.sink.Upload(*req.Batch)
 		return response{OK: true}
+	case opFedHello, opFedHeartbeat, opFedVotes, opFedSync:
+		return s.dispatchFed(req)
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
+// Reconnect backoff bounds: the first failed redial waits BackoffBase,
+// each further failure doubles it up to BackoffMax, and a deterministic
+// jitter keeps a fleet of agents severed by one controller restart from
+// redialling in lockstep.
+const (
+	BackoffBase = 50 * time.Millisecond
+	BackoffMax  = 5 * time.Second
+)
+
 // Client speaks the wire protocol and implements proto.Controller and
 // proto.UploadSink. It is safe for concurrent use; requests are
 // serialized on one connection. A broken connection is redialled once
 // per request (Controllers restart; Agents keep running — §4.1's
-// re-registration story depends on it).
+// re-registration story depends on it); while the server stays
+// unreachable, redial attempts back off exponentially and requests
+// inside the backoff window fail fast instead of hot-spinning dials.
 type Client struct {
 	addr string
 
@@ -251,6 +278,15 @@ type Client struct {
 	conn   net.Conn
 	closed bool
 	err    error
+
+	// Dial-failure backoff state. Only failed dials back off: a round
+	// trip that redials successfully (the server restarted) pays nothing.
+	dialFails  int
+	nextDialAt time.Time
+
+	// Injectable for tests; defaulted by Dial.
+	now    func() time.Time
+	dialFn func(addr string) (net.Conn, error)
 }
 
 // Dial connects to a Server.
@@ -259,7 +295,57 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{addr: addr, conn: conn}, nil
+	return &Client{
+		addr: addr, conn: conn,
+		now:    time.Now,
+		dialFn: func(a string) (net.Conn, error) { return net.Dial("tcp", a) },
+	}, nil
+}
+
+// backoffDelay is the wait after the n-th consecutive dial failure
+// (n >= 1): capped exponential with deterministic jitter in
+// [delay/2, delay], derived from the address and the failure count so
+// retry schedules are reproducible but distinct across clients.
+func backoffDelay(addr string, n int) time.Duration {
+	d := BackoffBase
+	for i := 1; i < n && d < BackoffMax; i++ {
+		d *= 2
+	}
+	if d > BackoffMax {
+		d = BackoffMax
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(n))
+	_, _ = h.Write(b[:])
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + int64(h.Sum64()%uint64(half+1)))
+}
+
+// redial re-establishes the connection, honoring the backoff window.
+// Callers hold mu.
+func (c *Client) redial() error {
+	if c.dialFails > 0 && c.now().Before(c.nextDialAt) {
+		if c.err == nil {
+			c.err = fmt.Errorf("wire: dial %s backing off", c.addr)
+		}
+		return c.err
+	}
+	conn, err := c.dialFn(c.addr)
+	if err != nil {
+		c.dialFails++
+		c.nextDialAt = c.now().Add(backoffDelay(c.addr, c.dialFails))
+		c.err = err
+		return err
+	}
+	c.conn = conn
+	c.dialFails = 0
+	c.nextDialAt = time.Time{}
+	return nil
 }
 
 // Close closes the connection.
@@ -302,16 +388,14 @@ func (c *Client) roundTrip(req *request) (response, error) {
 		// Application-level error: the transport is fine.
 		return resp, err
 	}
-	// Transport failure: redial once and retry.
+	// Transport failure: redial (subject to backoff) and retry once.
 	if c.conn != nil {
 		_ = c.conn.Close()
+		c.conn = nil
 	}
-	conn, derr := net.Dial("tcp", c.addr)
-	if derr != nil {
-		c.err = derr
+	if derr := c.redial(); derr != nil {
 		return response{}, derr
 	}
-	c.conn = conn
 	resp, err = c.attempt(req)
 	if err != nil {
 		c.err = err

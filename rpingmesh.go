@@ -29,6 +29,7 @@ import (
 	"rpingmesh/internal/core"
 	"rpingmesh/internal/experiments"
 	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/fed"
 	"rpingmesh/internal/pipeline"
 	"rpingmesh/internal/service"
 	"rpingmesh/internal/sim"
@@ -260,6 +261,33 @@ type (
 
 // RunChaos executes one seeded chaos scenario end to end.
 func RunChaos(sc ChaosScenario) (*ChaosResult, error) { return chaos.Run(sc) }
+
+// Federation tier (DESIGN.md §10): N peer controller/analyzer nodes,
+// each probing its own pod shard, folding per-node problem votes into
+// quorum-confirmed global incidents over a replicated round log with
+// leader failover and log-replay reconciliation. ChaosScenario.FedNodes
+// runs the chaos harness against a federated deployment.
+type (
+	// FedConfig tunes the federation: size, quorum, vote-overlap and
+	// coverage horizons, heartbeat tolerance, signing secret.
+	FedConfig = fed.Config
+	// FedDeployConfig assembles an in-process federated deployment over
+	// one simulated fabric.
+	FedDeployConfig = fed.DeployConfig
+	// FedDeploy is N federated nodes advancing in lockstep windows.
+	FedDeploy = fed.Deploy
+	// FedNode is one federation member: a full cluster over its pod
+	// shard plus the coordination state (election, outbox, replica).
+	FedNode = fed.Node
+	// FedStepInfo reports one coordination step: window, committing
+	// leader, per-node errors.
+	FedStepInfo = fed.StepInfo
+)
+
+// NewFedDeploy builds an in-process federated deployment; Run or Step
+// advance every node's cluster one analysis window and then coordinate
+// (heartbeats, election, vote delivery, round commit).
+func NewFedDeploy(cfg FedDeployConfig) (*FedDeploy, error) { return fed.NewDeploy(cfg) }
 
 // Watchdog is the §7.5 counter-based early-warning extension.
 type Watchdog = watchdog.Watchdog
