@@ -19,9 +19,9 @@ test:
 # control plane) get a dedicated race pass with repetition; everything
 # else runs once.
 race:
-	$(GO) test -race -count=2 ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
+	$(GO) test -race -count=2 ./internal/proto ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
 	$(GO) test -race -count=2 ./internal/fed
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Boot the live daemon with the ops console and smoke-test it over real
 # HTTP: /healthz and /api/incidents must both answer 200 (curl -f fails
@@ -82,14 +82,14 @@ BENCH_PKGS    = . ./internal/analyzer ./internal/alert
 
 bench-json:
 	$(GO) build -o bin/benchdiff ./cmd/benchdiff
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 0.5s -count 3 $(BENCH_PKGS) \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem $(BENCH_PKGS) \
 		| ./bin/benchdiff -parse > BENCH_pr.json
 	@cat BENCH_pr.json
 
 # Refresh the committed baseline (run on a quiet machine, then commit).
 bench-baseline:
 	$(GO) build -o bin/benchdiff ./cmd/benchdiff
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 0.5s -count 3 $(BENCH_PKGS) \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -count 3 -benchmem $(BENCH_PKGS) \
 		| ./bin/benchdiff -parse > BENCH_baseline.json
 	@cat BENCH_baseline.json
 
@@ -111,6 +111,8 @@ determinism:
 	GOMAXPROCS=8 $(GO) test -count=2 ./internal/chaos -run 'TestDeterminism|TestShardedScenario'
 	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestFedDeterminism' ./internal/fed ./internal/chaos
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestFedDeterminism' ./internal/fed ./internal/chaos
+	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestRecordsEncodeDeterministic|TestSketchDeterministic' ./internal/proto ./internal/tsdb
+	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestRecordsEncodeDeterministic|TestSketchDeterministic' ./internal/proto ./internal/tsdb
 
 # --- static analysis ---------------------------------------------------
 

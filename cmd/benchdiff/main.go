@@ -6,11 +6,15 @@
 //	    Parse `go test -bench` text from stdin into canonical JSON: per
 //	    benchmark (GOMAXPROCS suffix stripped), the minimum ns/op across
 //	    all -count repetitions — min, not mean, because noise on a shared
-//	    CI runner only ever adds time.
+//	    CI runner only ever adds time. With -benchmem output, allocs/op
+//	    is captured the same way (minimum per name).
 //
 //	benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json -max-regress 0.25
 //	    Exit non-zero if any baseline benchmark is missing from the
-//	    candidate or slowed down by more than -max-regress.
+//	    candidate, slowed down by more than -max-regress, or allocates
+//	    more than the baseline allows (a 0-alloc baseline admits no
+//	    allocations at all — the zero-allocation ingest path is pinned
+//	    exactly).
 package main
 
 import (
@@ -31,10 +35,14 @@ type Snapshot struct {
 	// NsPerOp maps benchmark name (no -N GOMAXPROCS suffix) to the best
 	// observed ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp maps benchmark name to the best observed allocs/op —
+	// present only for benchmarks run with -benchmem.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
-// benchLine matches `BenchmarkName-8  	 100	 12345 ns/op ...`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches `BenchmarkName-8  	 100	 12345 ns/op	 64 B/op	 2 allocs/op`
+// (the memory columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
 
 // parse reads go-test benchmark text and keeps the per-name minimum.
 func parse(r io.Reader) (*Snapshot, error) {
@@ -52,6 +60,18 @@ func parse(r io.Reader) (*Snapshot, error) {
 		}
 		if prev, ok := snap.NsPerOp[m[1]]; !ok || ns < prev {
 			snap.NsPerOp[m[1]] = ns
+		}
+		if m[3] != "" {
+			allocs, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			if snap.AllocsPerOp == nil {
+				snap.AllocsPerOp = make(map[string]float64)
+			}
+			if prev, ok := snap.AllocsPerOp[m[1]]; !ok || allocs < prev {
+				snap.AllocsPerOp[m[1]] = allocs
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -102,6 +122,32 @@ func compare(base, cand *Snapshot, maxRegress float64, w io.Writer) []string {
 				name, b, c, delta*100, maxRegress*100))
 		}
 		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", name, b, c, delta*100, verdict)
+	}
+
+	// Allocation gate: every baseline allocs/op entry is a ceiling. A
+	// zero baseline is exact (the zero-allocation contract admits no
+	// slack), a non-zero baseline gets the same fractional headroom as
+	// ns/op.
+	allocNames := make([]string, 0, len(base.AllocsPerOp))
+	for name := range base.AllocsPerOp {
+		allocNames = append(allocNames, name)
+	}
+	sort.Strings(allocNames)
+	for _, name := range allocNames {
+		b := base.AllocsPerOp[name]
+		c, ok := cand.AllocsPerOp[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op missing from candidate (run with -benchmem)", name))
+			continue
+		}
+		limit := b * (1 + maxRegress)
+		verdict := "ok"
+		if c > limit {
+			verdict = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op -> %.0f allocs/op (limit %.0f)",
+				name, b, c, limit))
+		}
+		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f allocs/op          %s\n", name, b, c, verdict)
 	}
 	return bad
 }

@@ -80,3 +80,56 @@ func TestCompareFlagsMissingBenchmark(t *testing.T) {
 		t.Fatalf("missing benchmark not flagged: %v", bad)
 	}
 }
+
+func TestParseCapturesAllocs(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.AllocsPerOp["BenchmarkAnalyzerWindow"]; got != 56 {
+		t.Fatalf("AnalyzerWindow allocs = %v, want 56", got)
+	}
+	// PipelineIngest lines carry no -benchmem columns; no entry expected.
+	if _, ok := snap.AllocsPerOp["BenchmarkPipelineIngest"]; ok {
+		t.Fatal("allocs recorded for a benchmark without -benchmem columns")
+	}
+}
+
+// A zero-alloc baseline is exact: one allocation per op must fail the
+// gate regardless of the fractional headroom.
+func TestCompareZeroAllocBaselineIsExact(t *testing.T) {
+	base := &Snapshot{
+		NsPerOp:     map[string]float64{"BenchmarkPipelineIngest": 40},
+		AllocsPerOp: map[string]float64{"BenchmarkPipelineIngest": 0},
+	}
+	cand := &Snapshot{
+		NsPerOp:     map[string]float64{"BenchmarkPipelineIngest": 41},
+		AllocsPerOp: map[string]float64{"BenchmarkPipelineIngest": 1},
+	}
+	var out strings.Builder
+	bad := compare(base, cand, 0.25, &out)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/op") {
+		t.Fatalf("alloc regression not flagged: %v", bad)
+	}
+}
+
+func TestCompareAllocWithinBudgetAndMissing(t *testing.T) {
+	base := &Snapshot{
+		NsPerOp:     map[string]float64{"BenchmarkAnalyzerWindow": 1000},
+		AllocsPerOp: map[string]float64{"BenchmarkAnalyzerWindow": 100},
+	}
+	cand := &Snapshot{
+		NsPerOp:     map[string]float64{"BenchmarkAnalyzerWindow": 1000},
+		AllocsPerOp: map[string]float64{"BenchmarkAnalyzerWindow": 120}, // +20% < 25%
+	}
+	var out strings.Builder
+	if bad := compare(base, cand, 0.25, &out); len(bad) != 0 {
+		t.Fatalf("unexpected regressions: %v", bad)
+	}
+	// A baseline with allocs but a candidate without must fail loudly.
+	cand.AllocsPerOp = nil
+	bad := compare(base, cand, 0.25, &out)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("missing allocs not flagged: %v", bad)
+	}
+}

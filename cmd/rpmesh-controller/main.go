@@ -218,6 +218,9 @@ func main() {
 	pipe := pipeline.New(pipeline.Config{
 		Partitions: *partitions, Capacity: *capacity, Policy: pol,
 	}, agg, analyzerTier{an})
+	// The store's sketch tier consumes delivered record batches directly
+	// (per-host ingest.rtt.* quantile ladders + per-device tallies).
+	pipe.SubscribeRecords(db)
 	pipe.Start()
 	defer pipe.Stop()
 

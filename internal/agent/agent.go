@@ -26,6 +26,7 @@ package agent
 import (
 	"fmt"
 	"math/rand"
+	"net/netip"
 
 	"rpingmesh/internal/ecmp"
 	"rpingmesh/internal/proto"
@@ -99,9 +100,10 @@ type Agent struct {
 	eng    *sim.Engine
 	host   *rnic.Host
 	stack  *verbs.Stack
-	ctrl   proto.Controller
-	sink   proto.UploadSink
-	tracer trace.PathTracer
+	ctrl    proto.Controller
+	sink    proto.UploadSink
+	recSink proto.RecordSink // sink's flat-path surface, if it has one
+	tracer  trace.PathTracer
 	cfg    Config
 	rng    *rand.Rand
 
@@ -117,8 +119,13 @@ type Agent struct {
 	// keeps the per-shard heaps allocation-quiet in the parallel engine.
 	probePool []*inflightProbe
 
-	results []proto.ProbeResult
-	paths   map[pathKey]*tracedPath
+	// batch is the in-place columnar upload under construction. Routes
+	// are interned per (pinglist entry, traced-path epoch) via
+	// routeIntern, so steady-state probing appends pure column values.
+	batch       *proto.RecordBatch
+	routeIntern map[routeKey]internEntry
+
+	paths map[pathKey]*tracedPath
 
 	// clockBase holds each local device's clock reading captured at one
 	// calibration instant; differences between entries are the intra-host
@@ -231,6 +238,36 @@ type pathKey struct {
 	tuple ecmp.FiveTuple
 }
 
+// routeKey identifies an interned route in the current upload batch: the
+// addressing fields that vary between pinglist entries. Path slices
+// can't be map keys; internEntry remembers which slices the route was
+// interned with and the agent re-interns when a re-trace swaps them.
+type routeKey struct {
+	kind    proto.ProbeKind
+	srcDev  topo.DeviceID
+	dstDev  topo.DeviceID
+	dstHost topo.HostID
+	dstIP   netip.Addr
+	srcPort uint16
+	dstQPN  rnic.QPN
+}
+
+type internEntry struct {
+	idx       int32
+	probePath []topo.LinkID
+	ackPath   []topo.LinkID
+}
+
+// samePath reports whether two cached path slices are the same snapshot
+// (identity, not content: a re-trace that produces an equal path keeps
+// the same backing array only if nothing changed).
+func samePath(a, b []topo.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
 type tracedPath struct {
 	links    []topo.LinkID
 	tracedAt sim.Time
@@ -256,6 +293,7 @@ func New(eng *sim.Engine, stack *verbs.Stack, ctrl proto.Controller, sink proto.
 		pending:  make(map[uint64]*pendingResponse),
 		paths:    make(map[pathKey]*tracedPath),
 	}
+	a.recSink, _ = sink.(proto.RecordSink)
 	stack.RegisterTracer(a)
 	return a
 }
@@ -679,13 +717,9 @@ func (a *Agent) maybeFinishOneWay(_ *rnicState, inf *inflightProbe) {
 	delete(a.inflight, inf.seq)
 	inf.timeout.Cancel()
 	oneWay := (inf.t3 - a.clockBase[inf.tgt.Dst.Dev]) - (inf.t2 - a.clockBase[inf.rs.dev.ID()])
-	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
-		r.OneWay = true
-		r.OneWayDelay = oneWay
-		// NetworkRTT keeps its usual meaning for the Analyzer's SLA
-		// aggregation: the round-trip equivalent.
-		r.NetworkRTT = 2 * oneWay
-	}))
+	// NetworkRTT keeps its usual meaning for the Analyzer's SLA
+	// aggregation: the round-trip equivalent.
+	a.record(inf, proto.RecOneWay, 2*oneWay, 0, 0, oneWay)
 	a.releaseProbe(inf)
 }
 
@@ -701,76 +735,109 @@ func (a *Agent) maybeFinish(inf *inflightProbe) {
 
 	rtt := (inf.t5 - inf.t2) - inf.resp
 	prober := (inf.t6 - inf.t1) - (inf.t5 - inf.t2)
-	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
-		r.NetworkRTT = rtt
-		r.ProberDelay = prober
-		r.ResponderDelay = inf.resp
-	}))
+	a.record(inf, 0, rtt, prober, inf.resp, 0)
 	a.releaseProbe(inf)
 }
 
 func (a *Agent) finishTimeout(inf *inflightProbe) {
 	a.Stats.Timeouts++
-	a.record(a.baseResult(inf, func(r *proto.ProbeResult) {
-		r.Timeout = true
-	}))
+	a.record(inf, proto.RecTimeout, 0, 0, 0, 0)
 	a.releaseProbe(inf)
 }
 
-func (a *Agent) baseResult(inf *inflightProbe, fill func(*proto.ProbeResult)) proto.ProbeResult {
-	ackTuple := ecmp.RoCETuple(inf.tgt.Dst.IP, inf.rs.dev.IP(), inf.tgt.SrcPort)
-	r := proto.ProbeResult{
-		Seq:       inf.seq,
-		Kind:      inf.kind,
-		SrcDev:    inf.rs.dev.ID(),
-		SrcHost:   a.host.ID(),
-		DstDev:    inf.tgt.Dst.Dev,
-		DstHost:   inf.tgt.Dst.Host,
-		SrcIP:     inf.rs.dev.IP(),
-		DstIP:     inf.tgt.Dst.IP,
-		SrcPort:   inf.tgt.SrcPort,
-		DstQPN:    inf.tgt.Dst.QPN,
-		SentAt:    inf.t1,
-		ProbePath: a.cachedPath(inf.rs.dev.ID(), inf.tuple),
-		AckPath:   a.cachedPath(inf.tgt.Dst.Dev, ackTuple),
+// record appends one finished probe to the in-place columnar batch,
+// shedding the oldest records beyond the memory cap. The route (all
+// addressing fields plus the cached traced paths) is interned once per
+// (pinglist entry, path epoch); steady-state probing therefore writes
+// eight column values and nothing else.
+func (a *Agent) record(inf *inflightProbe, flags uint8, rtt, probd, respd, oneway sim.Time) {
+	b := a.batch
+	if b == nil {
+		b = &proto.RecordBatch{}
+		a.batch = b
+		if a.routeIntern == nil {
+			a.routeIntern = make(map[routeKey]internEntry)
+		}
 	}
-	fill(&r)
-	return r
-}
-
-// record buffers one result, shedding the oldest beyond the memory cap.
-func (a *Agent) record(r proto.ProbeResult) {
-	if len(a.results) >= a.cfg.MaxBufferedResults {
-		shed := len(a.results) - a.cfg.MaxBufferedResults + 1
-		a.results = append(a.results[:0], a.results[shed:]...)
+	if b.Len() >= a.cfg.MaxBufferedResults {
+		shed := b.Len() - a.cfg.MaxBufferedResults + 1
+		b.DropFirst(shed)
 		a.Stats.ResultsDropped += int64(shed)
 	}
-	a.results = append(a.results, r)
+
+	ackTuple := ecmp.RoCETuple(inf.tgt.Dst.IP, inf.rs.dev.IP(), inf.tgt.SrcPort)
+	probePath := a.cachedPath(inf.rs.dev.ID(), inf.tuple)
+	ackPath := a.cachedPath(inf.tgt.Dst.Dev, ackTuple)
+	key := routeKey{
+		kind:    inf.kind,
+		srcDev:  inf.rs.dev.ID(),
+		dstDev:  inf.tgt.Dst.Dev,
+		dstHost: inf.tgt.Dst.Host,
+		dstIP:   inf.tgt.Dst.IP,
+		srcPort: inf.tgt.SrcPort,
+		dstQPN:  inf.tgt.Dst.QPN,
+	}
+	e, ok := a.routeIntern[key]
+	if !ok || !samePath(e.probePath, probePath) || !samePath(e.ackPath, ackPath) {
+		e = internEntry{
+			idx: b.AddRoute(proto.Route{
+				Kind:      inf.kind,
+				SrcDev:    inf.rs.dev.ID(),
+				SrcHost:   a.host.ID(),
+				DstDev:    inf.tgt.Dst.Dev,
+				DstHost:   inf.tgt.Dst.Host,
+				SrcIP:     inf.rs.dev.IP(),
+				DstIP:     inf.tgt.Dst.IP,
+				SrcPort:   inf.tgt.SrcPort,
+				DstQPN:    inf.tgt.Dst.QPN,
+				ProbePath: probePath,
+				AckPath:   ackPath,
+			}),
+			probePath: probePath,
+			ackPath:   ackPath,
+		}
+		a.routeIntern[key] = e
+	}
+	b.Append(e.idx, inf.seq, inf.t1, flags, rtt, probd, respd, oneway)
 }
 
-// upload ships buffered results toward the Analyzer (every 5 s) — in the
-// full wiring the sink is the ingest pipeline, not the Analyzer itself.
-// A down host uploads nothing, which is itself the Analyzer's host-down
-// signal. Each batch carries a per-host sequence number so the ingest
-// tier's per-host FIFO guarantee is end-to-end checkable.
+// upload ships the buffered columnar batch toward the Analyzer (every
+// 5 s) — in the full wiring the sink is the ingest pipeline, not the
+// Analyzer itself. Record-aware sinks receive the flat batch (ownership
+// transfers: the agent starts a fresh one); classic sinks get the
+// materialized UploadBatch. A down host uploads nothing, which is itself
+// the Analyzer's host-down signal. Each batch carries a per-host
+// sequence number so the ingest tier's per-host FIFO guarantee is
+// end-to-end checkable.
 func (a *Agent) upload() {
 	if a.host.Down() {
 		return
 	}
 	a.Stats.Uploads++
-	batch := proto.UploadBatch{
-		Host:    a.host.ID(),
-		Sent:    a.eng.Now(),
-		Seq:     uint64(a.Stats.Uploads),
-		Results: a.results,
+	b := a.batch
+	if b == nil {
+		b = &proto.RecordBatch{}
 	}
-	a.results = nil
-	a.sink.Upload(batch)
+	b.Host = a.host.ID()
+	b.Sent = a.eng.Now()
+	b.Seq = uint64(a.Stats.Uploads)
+	a.batch = nil
+	clear(a.routeIntern) // route indexes die with the handed-off batch
+	if a.recSink != nil {
+		a.recSink.UploadRecords(b)
+		return
+	}
+	a.sink.Upload(b.ToUploadBatch())
 }
 
 // PendingResults reports the number of buffered, not-yet-uploaded results
 // (memory footprint driver, Fig 7).
-func (a *Agent) PendingResults() int { return len(a.results) }
+func (a *Agent) PendingResults() int {
+	if a.batch == nil {
+		return 0
+	}
+	return a.batch.Len()
+}
 
 // InflightProbes reports the number of probes awaiting ACKs or timeout.
 func (a *Agent) InflightProbes() int { return len(a.inflight) }

@@ -288,7 +288,11 @@ type Analyzer struct {
 	// without it, then appends the report under mu.
 	mu sync.Mutex
 
-	pending []proto.ProbeResult
+	// pending accumulates the window's probe records in columnar form;
+	// spare is last window's store, recycled (Reset keeps column
+	// capacity) so steady-state ingest stops allocating.
+	pending *proto.Records
+	spare   *proto.Records
 
 	lastUpload map[topo.HostID]sim.Time
 	quarantine map[topo.DeviceID]sim.Time // RNIC -> quarantined-until
@@ -350,11 +354,38 @@ func New(eng *sim.Engine, tp *topo.Topology, qpns QPNSource, cfg Config) *Analyz
 // Window returns the configured analysis period.
 func (a *Analyzer) Window() sim.Time { return a.cfg.Window }
 
-// Upload implements proto.UploadSink.
+// pendingLocked returns the pending record store, allocating or
+// recycling last window's store on demand. Caller holds a.mu.
+func (a *Analyzer) pendingLocked() *proto.Records {
+	if a.pending == nil {
+		if a.spare != nil {
+			a.pending, a.spare = a.spare, nil
+		} else {
+			a.pending = &proto.Records{}
+		}
+	}
+	return a.pending
+}
+
+// Upload implements proto.UploadSink (the boxed legacy path; the
+// pipeline's flat path goes through UploadRecords).
 func (a *Analyzer) Upload(batch proto.UploadBatch) {
 	a.mu.Lock()
 	a.lastUpload[batch.Host] = batch.Sent
-	a.pending = append(a.pending, batch.Results...)
+	p := a.pendingLocked()
+	for i := range batch.Results {
+		p.AppendResult(batch.Results[i])
+	}
+	a.mu.Unlock()
+}
+
+// UploadRecords implements proto.RecordSink: the zero-boxing ingest
+// path. The batch is borrowed — its columns are copied into the
+// pending store before returning.
+func (a *Analyzer) UploadRecords(b *proto.RecordBatch) {
+	a.mu.Lock()
+	a.lastUpload[b.Host] = b.Sent
+	a.pendingLocked().AppendFrom(&b.Records)
 	a.mu.Unlock()
 }
 
@@ -381,7 +412,10 @@ func (a *Analyzer) SetMetricSink(s MetricSink) { a.sink = s }
 func (a *Analyzer) PendingResults() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.pending)
+	if a.pending == nil {
+		return 0
+	}
+	return a.pending.Len()
 }
 
 // Reports returns the retained window reports (the most recent
@@ -476,7 +510,7 @@ func (a *Analyzer) Tick() WindowReport {
 	// Snapshot the concurrently-fed inputs; everything after this runs
 	// without the lock.
 	a.mu.Lock()
-	results := a.pending
+	recs := a.pending
 	a.pending = nil
 	perfSamples := a.perfSamples
 	a.perfSamples = nil
@@ -488,6 +522,9 @@ func (a *Analyzer) Tick() WindowReport {
 	tick := a.ticks
 	a.ticks++
 	a.mu.Unlock()
+	if recs == nil {
+		recs = &proto.Records{}
+	}
 
 	rep := WindowReport{
 		Index: tick,
@@ -497,19 +534,19 @@ func (a *Analyzer) Tick() WindowReport {
 
 	// Refresh service-network membership from this window's
 	// service-tracing probes, then expire stale entries.
-	for i := range results {
-		r := &results[i]
-		if r.Kind != proto.ServiceTracing {
+	for i, n := 0, recs.Len(); i < n; i++ {
+		rt := recs.RouteAt(i)
+		if rt.Kind != proto.ServiceTracing {
 			continue
 		}
-		for _, l := range r.ProbePath {
+		for _, l := range rt.ProbePath {
 			a.serviceLinks[l] = now
 		}
-		for _, l := range r.AckPath {
+		for _, l := range rt.AckPath {
 			a.serviceLinks[l] = now
 		}
-		a.serviceHosts[r.SrcHost] = now
-		a.serviceHosts[r.DstHost] = now
+		a.serviceHosts[rt.SrcHost] = now
+		a.serviceHosts[rt.DstHost] = now
 	}
 	for l, t := range a.serviceLinks {
 		if now-t > a.cfg.ServiceLinkTTL {
@@ -536,7 +573,7 @@ func (a *Analyzer) Tick() WindowReport {
 
 	st := &WindowState{
 		Now:        now,
-		Results:    results,
+		Recs:       recs,
 		LastUpload: lastUpload,
 		Report:     &rep,
 	}
@@ -549,6 +586,12 @@ func (a *Analyzer) Tick() WindowReport {
 	if len(a.windows) > a.cfg.RetainWindows {
 		shed := len(a.windows) - a.cfg.RetainWindows
 		a.windows = append(a.windows[:0], a.windows[shed:]...)
+	}
+	// Recycle the analyzed store for the next window: nothing in the
+	// report aliases its columns, and Reset keeps the capacity.
+	recs.Reset()
+	if a.spare == nil {
+		a.spare = recs
 	}
 	a.mu.Unlock()
 	a.publish(&rep)

@@ -60,9 +60,9 @@ func TestAppendAndInsertStage(t *testing.T) {
 	}))
 	if err := h.an.InsertStageAfter(StageClassify, NewStage("afterClassify", func(st *WindowState) {
 		// Runs before any filtering: every timeout is still CauseSwitch.
-		for i := range st.Results {
-			if st.Results[i].Timeout && st.Causes[i] != CauseSwitch {
-				t.Errorf("result %d already refined to %v before filters", i, st.Causes[i])
+		for i, n := 0, st.Recs.Len(); i < n; i++ {
+			if st.Recs.Timeout(i) && st.Causes[i] != CauseSwitch {
+				t.Errorf("record %d already refined to %v before filters", i, st.Causes[i])
 			}
 		}
 	})); err != nil {

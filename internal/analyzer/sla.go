@@ -39,9 +39,10 @@ func (a *Analyzer) acquireAcc(key string, sla *SLA) *slaAcc {
 	return g
 }
 
-func (g *slaAcc) fill(r *proto.ProbeResult, c Cause) {
+// fill consumes record i of rs into the group's SLA.
+func (g *slaAcc) fill(rs *proto.Records, i int, c Cause) {
 	g.sla.Probes++
-	if r.Timeout {
+	if rs.Timeout(i) {
 		switch c {
 		case CauseRNIC:
 			g.sla.RNICDrops++
@@ -52,12 +53,12 @@ func (g *slaAcc) fill(r *proto.ProbeResult, c Cause) {
 		}
 		return
 	}
-	g.rtt.Add(float64(r.NetworkRTT))
-	if !r.OneWay {
+	g.rtt.Add(float64(rs.NetworkRTT(i)))
+	if !rs.OneWay(i) {
 		// One-way probes exchange no ACKs, so they carry no
 		// processing-delay decomposition.
-		g.respd.Add(float64(r.ResponderDelay))
-		g.probd.Add(float64(r.ProberDelay))
+		g.respd.Add(float64(rs.ResponderDelay(i)))
+		g.probd.Add(float64(rs.ProberDelay(i)))
 	}
 }
 
@@ -87,12 +88,12 @@ func (a *Analyzer) stageSLAAggregate(st *WindowState) {
 	// Discover this window's per-ToR groups up front so scratch
 	// accumulators can be bound before workers start.
 	torSet := make(map[topo.DeviceID]bool)
-	for i := range st.Results {
-		r := &st.Results[i]
-		if r.Kind == proto.ServiceTracing {
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
+		rt := st.Recs.RouteAt(i)
+		if rt.Kind == proto.ServiceTracing {
 			continue
 		}
-		if dst, ok := a.tp.RNICs[r.DstDev]; ok {
+		if dst, ok := a.tp.RNICs[rt.DstDev]; ok {
 			torSet[dst.ToR] = true
 		}
 	}
@@ -110,16 +111,17 @@ func (a *Analyzer) stageSLAAggregate(st *WindowState) {
 	}
 
 	w := a.workers()
+	n := st.Recs.Len()
 	if w <= 1 {
-		for i := range st.Results {
-			r := &st.Results[i]
-			if r.Kind == proto.ServiceTracing {
-				service.fill(r, st.Causes[i])
+		for i := 0; i < n; i++ {
+			rt := st.Recs.RouteAt(i)
+			if rt.Kind == proto.ServiceTracing {
+				service.fill(st.Recs, i, st.Causes[i])
 				continue
 			}
-			cluster.fill(r, st.Causes[i])
-			if dst, ok := a.tp.RNICs[r.DstDev]; ok {
-				accByTor[dst.ToR].fill(r, st.Causes[i])
+			cluster.fill(st.Recs, i, st.Causes[i])
+			if dst, ok := a.tp.RNICs[rt.DstDev]; ok {
+				accByTor[dst.ToR].fill(st.Recs, i, st.Causes[i])
 			}
 		}
 	} else {
@@ -142,23 +144,23 @@ func (a *Analyzer) stageSLAAggregate(st *WindowState) {
 			if !doCluster && !doService && !ownsToR {
 				return
 			}
-			for i := range st.Results {
-				r := &st.Results[i]
-				if r.Kind == proto.ServiceTracing {
+			for i := 0; i < n; i++ {
+				rt := st.Recs.RouteAt(i)
+				if rt.Kind == proto.ServiceTracing {
 					if doService {
-						service.fill(r, st.Causes[i])
+						service.fill(st.Recs, i, st.Causes[i])
 					}
 					continue
 				}
 				if doCluster {
-					cluster.fill(r, st.Causes[i])
+					cluster.fill(st.Recs, i, st.Causes[i])
 				}
-				dst, ok := a.tp.RNICs[r.DstDev]
+				dst, ok := a.tp.RNICs[rt.DstDev]
 				if !ok {
 					continue
 				}
 				if ownerByTor[dst.ToR] == wi {
-					accByTor[dst.ToR].fill(r, st.Causes[i])
+					accByTor[dst.ToR].fill(st.Recs, i, st.Causes[i])
 				}
 			}
 		})

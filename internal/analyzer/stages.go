@@ -13,9 +13,10 @@ import (
 // provisionally a switch problem until an earlier-in-the-cascade cause
 // claims it.
 func (a *Analyzer) stageClassify(st *WindowState) {
-	st.Causes = make([]Cause, len(st.Results))
-	for i := range st.Results {
-		if st.Results[i].Timeout {
+	n := st.Recs.Len()
+	st.Causes = make([]Cause, n)
+	for i := 0; i < n; i++ {
+		if st.Recs.Timeout(i) {
 			st.Causes[i] = CauseSwitch
 		}
 	}
@@ -28,16 +29,16 @@ func (a *Analyzer) stageClassify(st *WindowState) {
 // report, as the pre-pipeline Analyzer ordered them.
 func (a *Analyzer) stageHostDownFilter(st *WindowState) {
 	down := make(map[topo.HostID]bool)
-	for i := range st.Results {
-		r := &st.Results[i]
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
 		if st.Causes[i] != CauseSwitch {
 			continue
 		}
-		last, seen := st.LastUpload[r.DstHost]
+		dst := st.Recs.RouteAt(i).DstHost
+		last, seen := st.LastUpload[dst]
 		if !seen || st.Now-last > a.cfg.Window {
 			st.Causes[i] = CauseHostDown
 			st.Report.HostDownTimeouts++
-			down[r.DstHost] = true
+			down[dst] = true
 		}
 	}
 	st.downHosts = sortedHosts(down)
@@ -46,12 +47,12 @@ func (a *Analyzer) stageHostDownFilter(st *WindowState) {
 // stageQPNResetFilter is cascade step 2: a timeout whose target QPN no
 // longer matches the registry is restart noise (§4.3.1).
 func (a *Analyzer) stageQPNResetFilter(st *WindowState) {
-	for i := range st.Results {
-		r := &st.Results[i]
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
 		if st.Causes[i] != CauseSwitch {
 			continue
 		}
-		if qpn, ok := a.qpns.CurrentQPN(r.DstDev); ok && qpn != r.DstQPN {
+		rt := st.Recs.RouteAt(i)
+		if qpn, ok := a.qpns.CurrentQPN(rt.DstDev); ok && qpn != rt.DstQPN {
 			st.Causes[i] = CauseQPNReset
 			st.Report.QPNResetTimeouts++
 		}
@@ -62,38 +63,39 @@ type rnicStat struct{ total, timeout int }
 
 // rnicStats builds the per-destination-RNIC ToR-mesh timeout statistics
 // for one detection iteration, sharded over Workers when configured.
-// Shards cover disjoint contiguous ranges of Results and the integer
-// counts merge commutatively, so the merged map is identical to the
-// serial scan for any worker count.
+// Shards cover disjoint contiguous index ranges of the record columns
+// and the integer counts merge commutatively, so the merged map is
+// identical to the serial scan for any worker count.
 func (a *Analyzer) rnicStats(st *WindowState, excluded map[topo.DeviceID]bool) map[topo.DeviceID]*rnicStat {
 	w := a.workers()
 	locals := make([]map[topo.DeviceID]*rnicStat, w)
-	chunk := (len(st.Results) + w - 1) / w
+	n := st.Recs.Len()
+	chunk := (n + w - 1) / w
 	runSharded(w, func(wi int) {
 		m := make(map[topo.DeviceID]*rnicStat)
 		lo := wi * chunk
 		hi := lo + chunk
-		if hi > len(st.Results) {
-			hi = len(st.Results)
+		if hi > n {
+			hi = n
 		}
 		for i := lo; i < hi; i++ {
-			r := &st.Results[i]
-			if r.Kind != proto.ToRMesh {
+			rt := st.Recs.RouteAt(i)
+			if rt.Kind != proto.ToRMesh {
 				continue
 			}
 			if st.Causes[i] == CauseHostDown || st.Causes[i] == CauseQPNReset {
 				continue
 			}
-			if excluded[r.SrcDev] || excluded[r.DstDev] {
+			if excluded[rt.SrcDev] || excluded[rt.DstDev] {
 				continue
 			}
-			s, ok := m[r.DstDev]
+			s, ok := m[rt.DstDev]
 			if !ok {
 				s = &rnicStat{}
-				m[r.DstDev] = s
+				m[rt.DstDev] = s
 			}
 			s.total++
-			if r.Timeout {
+			if st.Recs.Timeout(i) {
 				s.timeout++
 			}
 		}
@@ -175,12 +177,12 @@ func (a *Analyzer) stageRNICDetect(st *WindowState) {
 	}
 
 	// Re-attribute timeouts touching quarantined RNICs.
-	for i := range st.Results {
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
 		if st.Causes[i] != CauseSwitch {
 			continue
 		}
-		r := &st.Results[i]
-		if a.isQuarantined(now, r.SrcDev) || a.isQuarantined(now, r.DstDev) {
+		rt := st.Recs.RouteAt(i)
+		if a.isQuarantined(now, rt.SrcDev) || a.isQuarantined(now, rt.DstDev) {
 			st.Causes[i] = CauseRNIC
 		}
 	}
@@ -209,18 +211,19 @@ func (a *Analyzer) stageCPUNoiseFilter(st *WindowState) {
 	// Signature B inputs: per-host responder delay vs cluster median.
 	delayByHost := make(map[topo.HostID]*metrics.Distribution)
 	all := metrics.NewDistribution()
-	for i := range st.Results {
-		r := &st.Results[i]
-		if r.Timeout {
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
+		if st.Recs.Timeout(i) {
 			continue
 		}
-		d, ok := delayByHost[r.DstHost]
+		respd := float64(st.Recs.ResponderDelay(i))
+		dst := st.Recs.RouteAt(i).DstHost
+		d, ok := delayByHost[dst]
 		if !ok {
 			d = metrics.NewDistribution()
-			delayByHost[r.DstHost] = d
+			delayByHost[dst] = d
 		}
-		d.Add(float64(r.ResponderDelay))
-		all.Add(float64(r.ResponderDelay))
+		d.Add(respd)
+		all.Add(respd)
 	}
 	clusterMedian := all.P50()
 
@@ -255,12 +258,11 @@ func (a *Analyzer) stageCPUNoiseFilter(st *WindowState) {
 		kept = append(kept, p)
 	}
 	rep.Problems = kept
-	for i := range st.Results {
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
 		if st.Causes[i] != CauseRNIC && st.Causes[i] != CauseSwitch {
 			continue
 		}
-		r := &st.Results[i]
-		if noisy[r.DstHost] {
+		if noisy[st.Recs.RouteAt(i).DstHost] {
 			st.Causes[i] = CauseCPUNoise
 			rep.CPUNoiseTimeouts++
 		}
@@ -289,23 +291,23 @@ func (a *Analyzer) stageBottleneckDetect(st *WindowState) {
 	const minSamples = 20
 	delayByHost := make(map[topo.HostID]*metrics.Distribution)
 	rttByDev := make(map[topo.DeviceID]*metrics.Distribution)
-	for i := range st.Results {
-		r := &st.Results[i]
-		if r.Timeout {
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
+		if st.Recs.Timeout(i) {
 			continue
 		}
-		d, ok := delayByHost[r.DstHost]
+		rt := st.Recs.RouteAt(i)
+		d, ok := delayByHost[rt.DstHost]
 		if !ok {
 			d = metrics.NewDistribution()
-			delayByHost[r.DstHost] = d
+			delayByHost[rt.DstHost] = d
 		}
-		d.Add(float64(r.ResponderDelay))
-		rd, ok := rttByDev[r.DstDev]
+		d.Add(float64(st.Recs.ResponderDelay(i)))
+		rd, ok := rttByDev[rt.DstDev]
 		if !ok {
 			rd = metrics.NewDistribution()
-			rttByDev[r.DstDev] = rd
+			rttByDev[rt.DstDev] = rd
 		}
-		rd.Add(float64(r.NetworkRTT))
+		rd.Add(float64(st.Recs.NetworkRTT(i)))
 	}
 
 	// Per-host CPU overload: window P50 far above the cluster median.

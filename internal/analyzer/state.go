@@ -50,18 +50,20 @@ func (c Cause) String() string {
 }
 
 // WindowState is the unit of work one analysis window's stages share.
-// Now and Results are immutable inputs — stages must not modify Results
-// entries. Causes and Report accumulate: each stage reads what earlier
-// stages established and adds its own attribution or problems.
+// Now and Recs are immutable inputs — stages must not modify records.
+// Causes and Report accumulate: each stage reads what earlier stages
+// established and adds its own attribution or problems.
 type WindowState struct {
 	// Now is the instant the window closed.
 	Now sim.Time
-	// Results holds every probe result uploaded during the window.
-	Results []proto.ProbeResult
+	// Recs holds every probe record uploaded during the window, in the
+	// flat columnar layout; stages consume it by index (Recs.Len,
+	// Recs.RouteAt, the column accessors).
+	Recs *proto.Records
 	// LastUpload is the per-host last-upload instant snapshotted when the
 	// window closed (hostDownFilter's input).
 	LastUpload map[topo.HostID]sim.Time
-	// Causes is the per-result attribution, parallel to Results.
+	// Causes is the per-record attribution, parallel to Recs.
 	Causes []Cause
 	// Report is the window's accumulating outcome.
 	Report *WindowReport

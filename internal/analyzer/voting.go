@@ -141,16 +141,16 @@ func (a *Analyzer) stageSwitchVote(st *WindowState) {
 	rep := st.Report
 	var clusterPaths, servicePaths [][]topo.LinkID
 	clusterN, serviceN := 0, 0
-	for i := range st.Results {
+	for i, n := 0, st.Recs.Len(); i < n; i++ {
 		if st.Causes[i] != CauseSwitch {
 			continue
 		}
-		r := &st.Results[i]
-		path := append(append([]topo.LinkID{}, r.ProbePath...), r.AckPath...)
+		rt := st.Recs.RouteAt(i)
+		path := append(append([]topo.LinkID{}, rt.ProbePath...), rt.AckPath...)
 		if len(path) == 0 {
 			continue
 		}
-		if r.Kind == proto.ServiceTracing {
+		if rt.Kind == proto.ServiceTracing {
 			servicePaths = append(servicePaths, path)
 			serviceN++
 		} else {

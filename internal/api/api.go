@@ -51,6 +51,10 @@ type SeriesStore interface {
 	Latest(name string) (tsdb.Point, bool)
 	Range(name string, from, to sim.Time) []tsdb.Point
 	Quantile(name string, from, to sim.Time, q float64) (float64, bool)
+	// QuantileWithError additionally reports the answer's worst-case
+	// rank-error bound: 0 for exact series, the sketch tier's tracked
+	// bound otherwise.
+	QuantileWithError(name string, from, to sim.Time, q float64) (float64, float64, bool)
 }
 
 // StatsSource exposes the ingest pipeline's drop accounting;
@@ -149,6 +153,7 @@ func New(b Backend, cfg Config) *Server {
 	route("GET /api/series/{name}/range", "series_range", s.handleSeriesRange)
 	route("GET /api/series/{name}/quantile", "series_quantile", s.handleSeriesQuantile)
 	route("GET /api/pipeline/stats", "pipeline_stats", s.handlePipelineStats)
+	route("GET /api/pipeline", "pipeline_stats", s.handlePipelineStats)
 	route("GET /api/metrics", "metrics", s.handleMetrics)
 	// Diagnosis triggers work; POST is the documented verb, GET is
 	// accepted for curl convenience.
@@ -573,13 +578,13 @@ func (s *Server) handleSeriesQuantile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	val, ok := s.b.TSDB.Quantile(name, from, to, q)
+	val, errBound, ok := s.b.TSDB.QuantileWithError(name, from, to, q)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no data for %q in range", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"series": name, "q": q, "value": val,
+		"series": name, "q": q, "value": val, "error_bound": errBound,
 	})
 }
 
@@ -599,6 +604,7 @@ func (s *Server) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
 		"results_shed":      st.ResultsShed,
 		"block_waits":       st.BlockWaits,
 		"max_lag_ns":        int64(st.Lag.Max),
+		"queue_high_water":  st.QueueHighWater,
 		"partitions":        st.Partitions,
 	})
 }

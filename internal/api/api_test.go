@@ -372,7 +372,10 @@ func TestStartServeShutdown(t *testing.T) {
 // fed — the exact live-deployment topology, run under -race in CI.
 func TestConcurrentQueriesDuringIngest(t *testing.T) {
 	b, fw, eng, db := testBackend(t)
-	s := New(b, Config{})
+	// A generous request timeout: this test pins race-safety of reads
+	// during ingest, and under -race on a loaded single-core runner the
+	// default 5 s budget can starve a reader into a spurious 503.
+	s := New(b, Config{RequestTimeout: time.Minute})
 	h := s.Handler()
 
 	stop := make(chan struct{})

@@ -14,6 +14,7 @@ func (h *harness) onWindow(rep analyzer.WindowReport) {
 	h.checkAnalyzerBacklog(rep.Index)
 	h.checkAlertConsistency(rep.Index)
 	h.checkTSDBSeams(rep)
+	h.checkTSDBBudget(rep.Index)
 	h.checkAPIHealth(rep.Index)
 }
 
@@ -102,6 +103,24 @@ func (h *harness) checkTSDBSeams(rep analyzer.WindowReport) {
 				h.violate("tsdb-seams", win, "series %q Quantile not ok over non-empty range", name)
 			}
 		}
+	}
+}
+
+// checkTSDBBudget: the sketch tier's memory contract — total sketch
+// bytes never exceed live sketch series × the configured per-series
+// budget, no matter how many records a pipeline-flood pushes through
+// ingest. Sketch buffers are allocated once at a size derived from the
+// budget, so a violation means the ladder grew past its cap.
+func (h *harness) checkTSDBBudget(win int) {
+	st := h.c.TSDB.Stats()
+	if st.SketchBudgetPerSeries <= 0 {
+		h.violate("tsdb-budget", win, "no sketch byte budget configured")
+		return
+	}
+	if limit := st.SketchSeries * st.SketchBudgetPerSeries; st.SketchBytes > limit {
+		h.violate("tsdb-budget", win,
+			"sketch tier holds %d bytes across %d series, budget %d (%d/series)",
+			st.SketchBytes, st.SketchSeries, limit, st.SketchBudgetPerSeries)
 	}
 }
 

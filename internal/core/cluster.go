@@ -137,13 +137,29 @@ func (c *Cluster) ShardedEngine() *sim.ShardedEngine { return c.sharded }
 // the Agents do.
 func (c *Cluster) Upload(b proto.UploadBatch) { c.Ingest.Upload(b) }
 
-// deliver is the pipeline's downstream: taps first, then the Analyzer.
-func (c *Cluster) deliver(b proto.UploadBatch) {
-	for _, tap := range c.taps {
-		tap(b)
+// UploadRecords implements proto.RecordSink: the Agents' flat columnar
+// upload path. Ownership of the batch passes to the pipeline.
+func (c *Cluster) UploadRecords(b *proto.RecordBatch) { c.Ingest.UploadRecords(b) }
+
+// deliverRecords is the pipeline's downstream: taps first (materialized
+// to the boxed representation once, only when taps exist), then the
+// Analyzer's columnar ingest.
+func (c *Cluster) deliverRecords(b *proto.RecordBatch) {
+	if len(c.taps) > 0 {
+		ub := b.ToUploadBatch()
+		for _, tap := range c.taps {
+			tap(ub)
+		}
 	}
-	c.Analyzer.Upload(b)
+	c.Analyzer.UploadRecords(b)
 }
+
+// recordDeliverer subscribes the cluster's delivery seam to the pipeline
+// as a RecordSink (Cluster itself enqueues, so it cannot be the
+// subscriber too).
+type recordDeliverer struct{ c *Cluster }
+
+func (d recordDeliverer) UploadRecords(b *proto.RecordBatch) { d.c.deliverRecords(b) }
 
 // TapUploads registers an observer for every batch the ingest tier
 // delivers (coalesced, in upload order).
@@ -241,8 +257,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	pcfg := cfg.Pipeline
 	pcfg.Defer = func(fn func()) { eng.After(0, fn) }
 	pcfg.Now = func() int64 { return int64(eng.Now()) }
-	c.Ingest = pipeline.New(pcfg, proto.UploadSinkFunc(c.deliver))
+	c.Ingest = pipeline.New(pcfg)
+	c.Ingest.SubscribeRecords(recordDeliverer{c})
 	c.TSDB = tsdb.Open(cfg.TSDB)
+	// The sketch tier consumes the record stream directly: per-host RTT
+	// quantile ladders and per-device count-min tallies, all within the
+	// enforced bytes-per-series budget.
+	c.Ingest.SubscribeRecords(c.TSDB)
 	an.SetMetricSink(c.TSDB)
 	c.Alerts = alert.NewEngine(cfg.Alert)
 
@@ -332,6 +353,10 @@ type shardSink struct {
 
 func (s shardSink) Upload(b proto.UploadBatch) {
 	s.pod.ScheduleOn(s.fab, s.pod.Now(), func() { s.c.Upload(b) })
+}
+
+func (s shardSink) UploadRecords(b *proto.RecordBatch) {
+	s.pod.ScheduleOn(s.fab, s.pod.Now(), func() { s.c.UploadRecords(b) })
 }
 
 // Run advances the simulation by d.

@@ -7,6 +7,14 @@
 // what lets the system absorb tens of thousands of Agents without the
 // Analyzer's window ever blocking a producer.
 //
+// The hot path moves flat *proto.RecordBatch pointers (UploadRecords):
+// partitions are fixed ring buffers, enqueue sequence numbers are a
+// single atomic, consumers pop into per-consumer scratch and merge
+// same-host runs into a reusable columnar batch — the steady-state
+// ingest path performs zero heap allocations. The classic
+// proto.UploadSink surface (Upload) remains as a compatibility shim
+// that converts batches on entry.
+//
 // The pipeline runs in one of two modes:
 //
 //   - Deferred (single-threaded): when Config.Defer is set, every enqueue
@@ -22,13 +30,16 @@
 //     keyed Kafka topic.
 //
 // Every drop is accounted — nothing is shed silently — and the pipeline
-// exposes its own observability (per-partition depth, enqueue/dequeue
-// counts, drops by policy, delivery lag) through internal/metrics types.
+// exposes its own observability (per-partition depth and high-water
+// marks, enqueue/dequeue counts, drops by policy, delivery lag) through
+// internal/metrics types.
 package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpingmesh/internal/metrics"
@@ -78,6 +89,12 @@ type Config struct {
 	// MaxCoalesce caps how many queued batches one drain merges into a
 	// single downstream delivery per host (default 64).
 	MaxCoalesce int
+	// LagSample is the per-partition sampling period for delivery-lag
+	// measurement on the flat record path (default 512: every 512th
+	// enqueue is timestamped — clock reads are syscalls on some hosts, so
+	// the hot path samples sparsely). The classic Upload path always
+	// measures exactly. 1 samples every record batch too.
+	LagSample int
 	// Defer, when set, switches the pipeline to deferred single-threaded
 	// mode: each enqueue schedules one drain through it instead of
 	// waking a consumer goroutine. The simulation passes the engine's
@@ -99,24 +116,46 @@ func (c *Config) setDefaults() {
 	if c.MaxCoalesce <= 0 {
 		c.MaxCoalesce = 64
 	}
+	if c.LagSample <= 0 {
+		c.LagSample = 512
+	}
 	if c.Now == nil {
 		c.Now = func() int64 { return time.Now().UnixNano() }
 	}
 }
 
+// lagUnsampled marks an item whose queue residence is not measured (the
+// record hot path timestamps only every LagSample-th enqueue).
+const lagUnsampled = int64(-1) << 62
+
 // item is one queued upload with its ingest bookkeeping.
 type item struct {
-	seq   uint64 // global enqueue order
-	at    int64  // Config.Now() at enqueue, for lag
-	batch proto.UploadBatch
+	seq uint64 // global enqueue order
+	at  int64  // Config.Now() at enqueue, or lagUnsampled
+	rb  *proto.RecordBatch
 }
 
-// partition is one bounded shard queue.
+// partition is one bounded shard queue: a fixed ring buffer of exactly
+// Capacity slots, so steady-state enqueue/dequeue never allocates.
 type partition struct {
 	mu       sync.Mutex
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
-	items    []item
+
+	buf   []item // len == Capacity, fixed
+	head  int
+	count int
+
+	waiting     int // consumers blocked on notEmpty
+	fullWaiting int // producers blocked on notFull
+	sinceLag    int // record enqueues since the last lag sample
+	lagPending  int // queued items carrying a lag timestamp (conservative)
+
+	// hasWork lets a spinning consumer poll for new items without taking
+	// the mutex (and so without slowing the producer's lock fast path).
+	// It may read stale true — the consumer always re-checks count under
+	// the lock — but never stale false while items are queued.
+	hasWork atomic.Bool
 
 	depth         metrics.Gauge
 	enqueued      uint64
@@ -127,9 +166,33 @@ type partition struct {
 	blockWaits    uint64
 }
 
+// Ring indexes advance by compare-and-subtract rather than modulo:
+// integer division is tens of cycles on older cores and this is the
+// per-record hot path.
+func (pt *partition) push(it item) {
+	i := pt.head + pt.count
+	if i >= len(pt.buf) {
+		i -= len(pt.buf)
+	}
+	pt.buf[i] = it
+	pt.count++
+}
+
+func (pt *partition) popOldest() item {
+	it := pt.buf[pt.head]
+	pt.buf[pt.head].rb = nil // release the reference for GC
+	if pt.head++; pt.head >= len(pt.buf) {
+		pt.head = 0
+	}
+	pt.count--
+	return it
+}
+
 // PartitionStats is one shard's observability snapshot.
 type PartitionStats struct {
-	Depth         int64
+	Depth int64
+	// MaxDepth is the shard's queue-depth high-water mark since start —
+	// the overload-tuning signal surfaced at /api/pipeline.
 	MaxDepth      int64
 	Enqueued      uint64
 	Dequeued      uint64
@@ -153,6 +216,10 @@ type Stats struct {
 	ResultsShed   uint64
 	BlockWaits    uint64
 
+	// QueueHighWater is the worst queue-depth high-water mark across all
+	// partitions (max over Partitions[i].MaxDepth).
+	QueueHighWater int64
+
 	// Delivered counts downstream deliveries after coalescing (so
 	// Delivered ≤ Dequeued), and ResultsDelivered the probe results in
 	// them.
@@ -160,7 +227,8 @@ type Stats struct {
 	ResultsDelivered uint64
 
 	// Lag summarizes queue residence time (ns) of dequeued batches;
-	// Lag.Max is the worst observed.
+	// Lag.Max is the worst observed. The flat record path samples every
+	// LagSample-th batch; the classic Upload path measures every batch.
 	Lag metrics.Summary
 }
 
@@ -192,22 +260,46 @@ func (s Stats) AccountingError() error {
 
 // String renders the one-line self-metrics summary the daemons print.
 func (s Stats) String() string {
-	return fmt.Sprintf("in=%d out=%d delivered=%d dropped(old=%d new=%d) shed_results=%d block_waits=%d max_lag=%s",
+	return fmt.Sprintf("in=%d out=%d delivered=%d dropped(old=%d new=%d) shed_results=%d block_waits=%d hwm=%d max_lag=%s",
 		s.Enqueued, s.Dequeued, s.Delivered, s.DroppedOldest, s.DroppedNewest,
-		s.ResultsShed, s.BlockWaits, time.Duration(int64(s.Lag.Max)))
+		s.ResultsShed, s.BlockWaits, s.QueueHighWater, time.Duration(int64(s.Lag.Max)))
 }
 
-// Pipeline is the sharded ingest bus. It implements proto.UploadSink.
+// deliverScratch is the reusable working memory of one drain loop: the
+// pop buffer, the DrainAll accumulation slice and the columnar merge
+// target. Each consumer goroutine owns one; DrainAll borrows one from a
+// pool.
+type deliverScratch struct {
+	pop    []item
+	drain  []item
+	merged proto.RecordBatch
+}
+
+// Pipeline is the sharded ingest bus. It implements both
+// proto.UploadSink (classic batches, converted on entry) and
+// proto.RecordSink (the flat zero-allocation path).
 type Pipeline struct {
 	cfg   Config
 	parts []*partition
 
+	seq        atomic.Uint64
+	delivered  atomic.Uint64
+	resultsOut atomic.Uint64
+	// concurrent mirrors running for the enqueue fast path: while consumer
+	// goroutines are live, global enqueue order is not a delivery guarantee
+	// (per-host FIFO only), so producers skip the shared seq counter and
+	// its cross-core cache traffic.
+	concurrent atomic.Bool
+
+	// Sink fan-out lists, split once at Subscribe time so delivery does
+	// not type-switch per batch. Subscribe before Start (see Subscribe).
+	recSinks   []proto.RecordSink
+	batchSinks []proto.UploadSink
+
+	scratch sync.Pool // *deliverScratch, for DrainAll / inline drains
+
 	mu          sync.Mutex
-	seq         uint64
-	subs        []proto.UploadSink
 	drainArmed  bool
-	delivered   uint64
-	resultsOut  uint64
 	lag         *metrics.Distribution
 	running     bool
 	stopping    bool
@@ -221,13 +313,16 @@ type Pipeline struct {
 func New(cfg Config, sinks ...proto.UploadSink) *Pipeline {
 	cfg.setDefaults()
 	p := &Pipeline{
-		cfg:  cfg,
-		subs: append([]proto.UploadSink(nil), sinks...),
-		lag:  metrics.NewDistribution(),
+		cfg: cfg,
+		lag: metrics.NewDistribution(),
+	}
+	p.scratch.New = func() any { return p.newScratch() }
+	for _, s := range sinks {
+		p.addSink(s)
 	}
 	p.parts = make([]*partition, cfg.Partitions)
 	for i := range p.parts {
-		pt := &partition{}
+		pt := &partition{buf: make([]item, cfg.Capacity)}
 		pt.notFull = sync.NewCond(&pt.mu)
 		pt.notEmpty = sync.NewCond(&pt.mu)
 		p.parts[i] = pt
@@ -235,13 +330,36 @@ func New(cfg Config, sinks ...proto.UploadSink) *Pipeline {
 	return p
 }
 
-// Subscribe adds a downstream sink. Every delivery fans out to all
-// subscribers in registration order. Subscribe before Start (or from the
-// simulation's single thread); it is not safe to race with consumers.
+func (p *Pipeline) newScratch() *deliverScratch {
+	return &deliverScratch{pop: make([]item, p.cfg.MaxCoalesce)}
+}
+
+func (p *Pipeline) addSink(s proto.UploadSink) {
+	if rs, ok := s.(proto.RecordSink); ok {
+		p.recSinks = append(p.recSinks, rs)
+		return
+	}
+	p.batchSinks = append(p.batchSinks, s)
+}
+
+// Subscribe adds a downstream sink. A sink that also implements
+// proto.RecordSink receives flat record batches (borrowed for the call;
+// copy to retain) and never the materialized form. Every delivery fans
+// out to all subscribers in registration order within each list.
+// Subscribe before Start (or from the simulation's single thread); it is
+// not safe to race with consumers.
 func (p *Pipeline) Subscribe(s proto.UploadSink) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.subs = append(p.subs, s)
+	p.addSink(s)
+}
+
+// SubscribeRecords adds a flat-path-only downstream sink. Same
+// constraints as Subscribe.
+func (p *Pipeline) SubscribeRecords(s proto.RecordSink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.recSinks = append(p.recSinks, s)
 }
 
 // PartitionKey maps a key onto one of n shards (FNV-1a). It is the
@@ -263,36 +381,57 @@ func (p *Pipeline) PartitionOf(host string) int {
 	return PartitionKey(host, len(p.parts))
 }
 
-// Upload implements proto.UploadSink: hash, admit under the overload
-// policy, and hand off to the partition's consumer.
+// Upload implements proto.UploadSink: the compatibility path. The batch
+// is converted to flat form on entry (one allocation per batch) and its
+// queue residence is measured exactly.
 func (p *Pipeline) Upload(b proto.UploadBatch) {
-	pi := p.PartitionOf(string(b.Host))
-	pt := p.parts[pi]
+	pi := PartitionKey(string(b.Host), len(p.parts))
+	p.enqueue(pi, proto.RecordsFromBatch(b), true)
+}
 
-	p.mu.Lock()
-	p.seq++
-	it := item{seq: p.seq, at: p.cfg.Now(), batch: b}
-	p.mu.Unlock()
+// UploadRecords implements proto.RecordSink: the zero-allocation hot
+// path. Ownership of rb transfers to the pipeline; producers must not
+// mutate it after the call (re-enqueueing the same immutable batch is
+// fine — the pipeline never writes through it).
+func (p *Pipeline) UploadRecords(rb *proto.RecordBatch) {
+	pi := PartitionKey(string(rb.Host), len(p.parts))
+	p.enqueue(pi, rb, false)
+}
+
+// enqueue admits one flat batch under the overload policy. exactLag
+// forces a residence timestamp (classic Upload); otherwise only every
+// LagSample-th enqueue per partition is timestamped.
+func (p *Pipeline) enqueue(pi int, rb *proto.RecordBatch, exactLag bool) {
+	pt := p.parts[pi]
+	it := item{at: lagUnsampled, rb: rb}
+	if !p.concurrent.Load() {
+		// Deferred/manual mode: DrainAll restores strict global upload
+		// order by this sequence number.
+		it.seq = p.seq.Add(1)
+	}
+	if exactLag {
+		it.at = p.cfg.Now()
+	}
 
 	pt.mu.Lock()
-	for len(pt.items) >= p.cfg.Capacity {
+	for pt.count >= len(pt.buf) {
 		switch p.cfg.Policy {
 		case DropOldest:
-			shed := pt.items[0]
-			copy(pt.items, pt.items[1:])
-			pt.items = pt.items[:len(pt.items)-1]
+			shed := pt.popOldest()
 			pt.droppedOldest += dropOldestInc
-			pt.resultsShed += uint64(len(shed.batch.Results))
+			pt.resultsShed += uint64(shed.rb.Len())
 		case DropNewest:
 			pt.droppedNewest++
-			pt.resultsShed += uint64(len(b.Results))
+			pt.resultsShed += uint64(rb.Len())
 			pt.mu.Unlock()
 			return
 		default: // Block
 			pt.blockWaits++
 			if p.isRunning() {
 				// A consumer goroutine will make room.
+				pt.fullWaiting++
 				pt.notFull.Wait()
+				pt.fullWaiting--
 				continue
 			}
 			// No consumer to wait for: the producer drains inline —
@@ -303,11 +442,31 @@ func (p *Pipeline) Upload(b proto.UploadBatch) {
 			pt.mu.Lock()
 		}
 	}
-	pt.items = append(pt.items, it)
+	if !exactLag {
+		pt.sinceLag++
+		if pt.sinceLag >= p.cfg.LagSample {
+			pt.sinceLag = 0
+			it.at = p.cfg.Now()
+		}
+	}
+	if it.at != lagUnsampled {
+		pt.lagPending++
+	}
+	pt.push(it)
+	if pt.count == 1 {
+		pt.hasWork.Store(true)
+	}
 	pt.enqueued++
-	pt.depth.Set(int64(len(pt.items)))
-	pt.notEmpty.Signal()
+	pt.depth.Set(int64(pt.count))
+	// Signal after unlock so the woken consumer doesn't immediately block
+	// on the mutex we still hold. The race is benign: a consumer that has
+	// not yet registered as waiting will re-check count under the lock
+	// before sleeping.
+	doSignal := pt.waiting > 0
 	pt.mu.Unlock()
+	if doSignal {
+		pt.notEmpty.Signal()
+	}
 
 	if p.cfg.Defer != nil {
 		p.armDrain()
@@ -346,6 +505,7 @@ func (p *Pipeline) Start() {
 	}
 	p.running = true
 	p.stopping = false
+	p.concurrent.Store(true)
 	p.mu.Unlock()
 	for i := range p.parts {
 		p.consumersWG.Add(1)
@@ -373,6 +533,7 @@ func (p *Pipeline) Stop() {
 	p.mu.Lock()
 	p.running = false
 	p.stopping = false
+	p.concurrent.Store(false)
 	p.mu.Unlock()
 	p.DrainAll()
 }
@@ -380,9 +541,15 @@ func (p *Pipeline) Stop() {
 func (p *Pipeline) consume(pi int) {
 	defer p.consumersWG.Done()
 	pt := p.parts[pi]
+	sc := p.newScratch() // consumer-owned: the steady-state path allocates nothing
+	// spare is the consumer's swap ring: taking a batch of work exchanges
+	// whole buffers under the lock (O(1) critical section) instead of
+	// copying items while producers wait.
+	spare := make([]item, p.cfg.Capacity)
 	for {
 		pt.mu.Lock()
-		for len(pt.items) == 0 {
+		spins := 0
+		for pt.count == 0 {
 			p.mu.Lock()
 			stop := p.stopping
 			p.mu.Unlock()
@@ -390,45 +557,115 @@ func (p *Pipeline) consume(pi int) {
 				pt.mu.Unlock()
 				return
 			}
+			// Spin briefly before sleeping: under sustained load the next
+			// batch is microseconds away, and a parked consumer forces
+			// every producer enqueue through a wake-up. The spin polls
+			// hasWork lock-free so it never contends the producer's lock
+			// fast path; only after the budget is spent does the consumer
+			// arm the condvar.
+			if spins < 4 {
+				spins++
+				pt.mu.Unlock()
+				for s := 0; s < 256 && !pt.hasWork.Load(); s++ {
+					runtime.Gosched()
+				}
+				pt.mu.Lock()
+				continue
+			}
+			pt.waiting++
 			pt.notEmpty.Wait()
+			pt.waiting--
 		}
-		batch := p.popLocked(pt)
+		buf, head, n, mayLag := pt.takeAllLocked(spare)
 		pt.mu.Unlock()
-		p.deliver(batch)
+		spare = buf // the partition now owns our old spare
+
+		// Deliver in FIFO order straight out of the taken ring — at most
+		// two contiguous segments, no per-item copying — chunked so one
+		// coalesced delivery never merges more than MaxCoalesce batches.
+		for n > 0 {
+			cnt := n
+			if head+cnt > len(buf) {
+				cnt = len(buf) - head
+			}
+			seg := buf[head : head+cnt]
+			for off := 0; off < len(seg); {
+				m := len(seg) - off
+				if m > p.cfg.MaxCoalesce {
+					m = p.cfg.MaxCoalesce
+				}
+				p.deliver(seg[off:off+m], sc, mayLag)
+				off += m
+			}
+			clearItems(seg) // release batch references for GC
+			n -= cnt
+			head = 0
+		}
 	}
 }
 
-// popLocked removes up to MaxCoalesce items from the partition (caller
-// holds pt.mu) and returns them in FIFO order.
-func (p *Pipeline) popLocked(pt *partition) []item {
-	n := len(pt.items)
-	if n > p.cfg.MaxCoalesce {
-		n = p.cfg.MaxCoalesce
-	}
-	out := make([]item, n)
-	copy(out, pt.items[:n])
-	rest := copy(pt.items, pt.items[n:])
-	pt.items = pt.items[:rest]
+// takeAllLocked hands the partition's entire ring to the caller (who
+// supplies a replacement of equal capacity) and returns the old buffer
+// with its head index, item count, and whether any taken item may carry
+// a lag timestamp (so delivery can skip the per-item scan on unsampled
+// swaps). Caller holds pt.mu.
+func (pt *partition) takeAllLocked(spare []item) ([]item, int, int, bool) {
+	buf, head, n := pt.buf, pt.head, pt.count
+	mayLag := pt.lagPending > 0
+	pt.lagPending = 0
+	pt.buf = spare
+	pt.head, pt.count = 0, 0
+	pt.hasWork.Store(false)
 	pt.dequeued += uint64(n)
-	pt.depth.Set(int64(len(pt.items)))
-	pt.notFull.Broadcast()
-	return out
+	pt.depth.Set(0)
+	if pt.fullWaiting > 0 {
+		pt.notFull.Broadcast()
+	}
+	return buf, head, n, mayLag
+}
+
+// popLocked removes up to len(dst) items from the partition (caller
+// holds pt.mu) into dst in FIFO order and returns the count.
+func (p *Pipeline) popLocked(pt *partition, dst []item) int {
+	n := pt.count
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = pt.buf[pt.head]
+		pt.buf[pt.head].rb = nil
+		if pt.head++; pt.head >= len(pt.buf) {
+			pt.head = 0
+		}
+	}
+	pt.count -= n
+	if pt.count == 0 {
+		pt.hasWork.Store(false)
+	}
+	pt.dequeued += uint64(n)
+	pt.depth.Set(int64(pt.count))
+	if pt.fullWaiting > 0 {
+		pt.notFull.Broadcast()
+	}
+	return n
 }
 
 // drainPartition synchronously empties one shard (used for inline
 // backpressure and by DrainAll).
 func (p *Pipeline) drainPartition(pi int) {
 	pt := p.parts[pi]
+	sc := p.scratch.Get().(*deliverScratch)
 	for {
 		pt.mu.Lock()
-		if len(pt.items) == 0 {
+		if pt.count == 0 {
 			pt.mu.Unlock()
-			return
+			break
 		}
-		batch := p.popLocked(pt)
+		n := p.popLocked(pt, sc.pop)
 		pt.mu.Unlock()
-		p.deliver(batch)
+		p.deliver(sc.pop[:n], sc, true)
 	}
+	p.scratch.Put(sc)
 }
 
 // DrainAll synchronously delivers everything queued, across partitions,
@@ -437,23 +674,28 @@ func (p *Pipeline) drainPartition(pi int) {
 // at any time; concurrent consumers and DrainAll never double-deliver a
 // batch (each pop is exclusive).
 func (p *Pipeline) DrainAll() {
+	sc := p.scratch.Get().(*deliverScratch)
 	for {
-		var items []item
+		items := sc.drain[:0]
 		for _, pt := range p.parts {
 			pt.mu.Lock()
-			if len(pt.items) > 0 {
-				items = append(items, p.popLocked(pt)...)
+			if pt.count > 0 {
+				n := p.popLocked(pt, sc.pop)
+				items = append(items, sc.pop[:n]...)
 			}
 			pt.mu.Unlock()
 		}
+		sc.drain = items
 		if len(items) == 0 {
-			return
+			break
 		}
 		// k-way merge by enqueue seq: partitions are FIFO, so a simple
 		// stable sort restores the global order.
 		sortItems(items)
-		p.deliver(items)
+		p.deliver(items, sc, true)
+		clearItems(items)
 	}
+	p.scratch.Put(sc)
 }
 
 func sortItems(items []item) {
@@ -465,52 +707,91 @@ func sortItems(items []item) {
 	}
 }
 
+func clearItems(items []item) {
+	for i := range items {
+		items[i].rb = nil
+	}
+}
+
 // deliver coalesces consecutive same-host batches and fans them out to
-// every subscriber. Called without any partition lock held.
-func (p *Pipeline) deliver(items []item) {
+// every subscriber. Called without any partition lock held. sc provides
+// the reusable merge target; items runs of length 1 are handed to record
+// sinks zero-copy. mayLag false promises no item carries a timestamp,
+// skipping the per-item scan.
+func (p *Pipeline) deliver(items []item, sc *deliverScratch, mayLag bool) {
 	if len(items) == 0 {
 		return
 	}
-	now := p.cfg.Now()
 
-	p.mu.Lock()
-	subs := p.subs
-	for _, it := range items {
-		p.lag.Add(float64(now - it.at))
+	// Queue-residence lag: only timestamped items contribute (the record
+	// path samples; the classic path stamps every batch).
+	sampled := false
+	if mayLag {
+		for i := range items {
+			if items[i].at != lagUnsampled {
+				sampled = true
+				break
+			}
+		}
 	}
-	p.mu.Unlock()
+	if sampled {
+		now := p.cfg.Now()
+		p.mu.Lock()
+		for i := range items {
+			if items[i].at != lagUnsampled {
+				p.lag.Add(float64(now - items[i].at))
+			}
+		}
+		p.mu.Unlock()
+	}
 
 	flushFrom := 0
+	// Delivery counters accumulate locally and fold into the shared
+	// atomics once per deliver call: with 4 consumers flushing long
+	// length-1 runs, per-flush atomic adds were the dominant cross-core
+	// cache traffic.
+	var nDelivered, nResults uint64
 	flush := func(hi int) {
 		if flushFrom >= hi {
 			return
 		}
-		merged := items[flushFrom].batch
-		if hi-flushFrom > 1 {
-			results := make([]proto.ProbeResult, 0, len(merged.Results))
+		var rb *proto.RecordBatch
+		if hi-flushFrom == 1 {
+			rb = items[flushFrom].rb
+		} else {
+			// Merge the run into the reusable columnar scratch batch:
+			// Host from the first constituent, Sent/Seq from the newest.
+			sc.merged.Reset()
+			sc.merged.Host = items[flushFrom].rb.Host
+			last := items[hi-1].rb
+			sc.merged.Sent = last.Sent
+			sc.merged.Seq = last.Seq
 			for k := flushFrom; k < hi; k++ {
-				results = append(results, items[k].batch.Results...)
+				sc.merged.AppendFrom(&items[k].rb.Records)
 			}
-			merged.Results = results
-			last := items[hi-1].batch
-			merged.Sent = last.Sent
-			merged.Seq = last.Seq
+			rb = &sc.merged
 		}
 		flushFrom = hi
-		p.mu.Lock()
-		p.delivered++
-		p.resultsOut += uint64(len(merged.Results))
-		p.mu.Unlock()
-		for _, s := range subs {
-			s.Upload(merged)
+		nDelivered++
+		nResults += uint64(rb.Len())
+		for _, s := range p.recSinks {
+			s.UploadRecords(rb)
+		}
+		if len(p.batchSinks) > 0 {
+			ub := rb.ToUploadBatch()
+			for _, s := range p.batchSinks {
+				s.Upload(ub)
+			}
 		}
 	}
 	for i := 1; i < len(items); i++ {
-		if items[i].batch.Host != items[i-1].batch.Host {
+		if items[i].rb.Host != items[i-1].rb.Host {
 			flush(i)
 		}
 	}
 	flush(len(items))
+	p.delivered.Add(nDelivered)
+	p.resultsOut.Add(nResults)
 }
 
 // Depth reports the current queue depth of one partition.
@@ -518,7 +799,7 @@ func (p *Pipeline) Depth(pi int) int {
 	pt := p.parts[pi]
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
-	return len(pt.items)
+	return pt.count
 }
 
 // Stats snapshots the pipeline's self-metrics.
@@ -527,7 +808,7 @@ func (p *Pipeline) Stats() Stats {
 	for i, pt := range p.parts {
 		pt.mu.Lock()
 		ps := PartitionStats{
-			Depth:         int64(len(pt.items)),
+			Depth:         int64(pt.count),
 			MaxDepth:      pt.depth.Max(),
 			Enqueued:      pt.enqueued,
 			Dequeued:      pt.dequeued,
@@ -544,10 +825,13 @@ func (p *Pipeline) Stats() Stats {
 		s.DroppedNewest += ps.DroppedNewest
 		s.ResultsShed += ps.ResultsShed
 		s.BlockWaits += ps.BlockWaits
+		if ps.MaxDepth > s.QueueHighWater {
+			s.QueueHighWater = ps.MaxDepth
+		}
 	}
+	s.Delivered = p.delivered.Load()
+	s.ResultsDelivered = p.resultsOut.Load()
 	p.mu.Lock()
-	s.Delivered = p.delivered
-	s.ResultsDelivered = p.resultsOut
 	s.Lag = p.lag.Summarize()
 	p.mu.Unlock()
 	return s

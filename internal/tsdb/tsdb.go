@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"rpingmesh/internal/metrics"
+	"rpingmesh/internal/proto"
 	"rpingmesh/internal/sim"
 )
 
@@ -45,6 +46,15 @@ type Config struct {
 	// CoarseCapacity is the per-series coarse ring size (default 4096
 	// ≈ two weeks).
 	CoarseCapacity int
+	// SketchBytesPerSeries is the enforced per-series byte budget of the
+	// sketch tier (default 32 KiB). Every sketch series allocates its
+	// quantile ladder and window ring once, sized to fit; Stats reports
+	// both the budget and the actual footprint so the chaos invariants
+	// can hold the store to it.
+	SketchBytesPerSeries int
+	// SketchWindowBuckets is the sketch tier's sealed window-bucket ring
+	// size (default 64) — the coarse Range view of a sketch series.
+	SketchWindowBuckets int
 }
 
 func (c *Config) setDefaults() {
@@ -63,6 +73,24 @@ func (c *Config) setDefaults() {
 	if c.CoarseCapacity <= 0 {
 		c.CoarseCapacity = 4096
 	}
+	if c.SketchBytesPerSeries <= 0 {
+		c.SketchBytesPerSeries = 32 << 10
+	}
+	if c.SketchWindowBuckets <= 0 {
+		c.SketchWindowBuckets = 64
+	}
+}
+
+// sketchLevels derives the quantile-ladder height that fits the
+// per-series budget next to the bucket ring.
+func (c *Config) sketchLevels() int {
+	ringBytes := c.SketchWindowBuckets * 48
+	perLevel := 40 + 8*(sketchK+(sketchK+1)/2)
+	levels := (c.SketchBytesPerSeries - ringBytes - 128) / perLevel
+	if levels < 3 {
+		levels = 3
+	}
+	return levels - 1 // level indexes are 0-based
 }
 
 // Point is one raw sample.
@@ -138,17 +166,64 @@ type series struct {
 	lastT    sim.Time
 }
 
+// sketchSeries is one high-cardinality series in the sketch tier: a
+// budget-bounded quantile ladder for distribution queries plus a small
+// sealed-window bucket ring for coarse Range views and the exact last
+// point so Latest stays truthful.
+type sketchSeries struct {
+	qs       *QuantileSketch
+	win      ring[Bucket]
+	curWin   Bucket
+	haveOpen bool
+	last     Point
+	appended uint64
+}
+
+func (ss *sketchSeries) add(cfg *Config, t sim.Time, v float64) {
+	ss.appended++
+	if !ss.haveOpen {
+		ss.curWin = Bucket{Start: align(t, cfg.WindowStep)}
+		ss.haveOpen = true
+	}
+	if t >= ss.curWin.Start+cfg.WindowStep {
+		if ss.curWin.Count > 0 {
+			ss.win.push(ss.curWin)
+		}
+		ss.curWin = Bucket{Start: align(t, cfg.WindowStep)}
+	}
+	ss.curWin.fold(v)
+	if t >= ss.last.T || ss.appended == 1 {
+		ss.last = Point{T: t, V: v}
+	}
+	ss.qs.Add(v)
+}
+
+// bytes reports the series' footprint against the budget.
+func (ss *sketchSeries) bytes() int {
+	return ss.qs.Bytes() + 48*cap(ss.win.buf) + 128
+}
+
 // DB is the store. The zero value is not usable; call Open.
 type DB struct {
 	mu  sync.RWMutex
 	cfg Config
-	s   map[string]*series
+	s   map[string]*series       // exact tier: the low-cardinality analyzer series
+	sk  map[string]*sketchSeries // sketch tier: high-cardinality ingest series
+	// counts is the per-destination-device record counter (count-min, so
+	// per-key memory is O(1) regardless of fleet size).
+	counts   *CountMin
+	ingested uint64
 }
 
 // Open creates a store.
 func Open(cfg Config) *DB {
 	cfg.setDefaults()
-	return &DB{cfg: cfg, s: make(map[string]*series)}
+	return &DB{
+		cfg:    cfg,
+		s:      make(map[string]*series),
+		sk:     make(map[string]*sketchSeries),
+		counts: NewCountMin(4, 1024),
+	}
 }
 
 func align(t, step sim.Time) sim.Time {
@@ -203,13 +278,78 @@ func (db *DB) Append(name string, t sim.Time, v float64) {
 	se.curCoarse.fold(v)
 }
 
-// Series returns the stored series names, sorted.
+// sketchLocked fetches or creates a sketch-tier series. Caller holds
+// db.mu for writing.
+func (db *DB) sketchLocked(name string) *sketchSeries {
+	ss, ok := db.sk[name]
+	if !ok {
+		ss = &sketchSeries{
+			qs:  NewQuantileSketch(sketchK, db.cfg.sketchLevels()),
+			win: newRing[Bucket](db.cfg.SketchWindowBuckets),
+		}
+		db.sk[name] = ss
+	}
+	return ss
+}
+
+// AppendSketch records one point into the sketch tier: bounded memory
+// per series regardless of volume, approximate quantiles with a tracked
+// error bound. Use it for high-cardinality names (per-host, per-device);
+// the 13 analyzer series stay on the exact Append tier.
+func (db *DB) AppendSketch(name string, t sim.Time, v float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.sketchLocked(name).add(&db.cfg, t, v)
+}
+
+// IngestRecords implements proto.RecordSink: the ingest spine feeds
+// delivered record batches straight into the sketch tier — one RTT
+// quantile sketch per source host ("ingest.rtt.<host>") and a count-min
+// tally of records per destination device. The batch is borrowed; no
+// reference is retained.
+func (db *DB) IngestRecords(b *proto.RecordBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.ingested += uint64(n)
+	ss := db.sketchLocked("ingest.rtt." + string(b.Host))
+	for i := 0; i < n; i++ {
+		db.counts.Add(string(b.RouteAt(i).DstDev), 1)
+		if b.Timeout(i) {
+			continue
+		}
+		ss.add(&db.cfg, b.Sent, float64(b.NetworkRTT(i)))
+	}
+}
+
+// UploadRecords implements proto.RecordSink so an *DB can subscribe to
+// the ingest pipeline directly; it is IngestRecords under the interface
+// name.
+func (db *DB) UploadRecords(b *proto.RecordBatch) { db.IngestRecords(b) }
+
+// CountEstimate reports the (never-under, slightly-over) number of
+// records ingested toward a destination device.
+func (db *DB) CountEstimate(dev string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.counts.Estimate(dev)
+}
+
+// Series returns the stored series names (both tiers), sorted.
 func (db *DB) Series() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.s))
+	out := make([]string, 0, len(db.s)+len(db.sk))
 	for name := range db.s {
 		out = append(out, name)
+	}
+	for name := range db.sk {
+		if _, shadowed := db.s[name]; !shadowed {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -219,11 +359,16 @@ func (db *DB) Series() []string {
 func (db *DB) Latest(name string) (Point, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	se, ok := db.s[name]
-	if !ok || se.raw.n == 0 {
-		return Point{}, false
+	if se, ok := db.s[name]; ok {
+		if se.raw.n == 0 {
+			return Point{}, false
+		}
+		return se.raw.at(se.raw.n - 1), true
 	}
-	return se.raw.at(se.raw.n - 1), true
+	if ss, ok := db.sk[name]; ok && ss.appended > 0 {
+		return ss.last, true
+	}
+	return Point{}, false
 }
 
 // rawHorizon returns the oldest raw timestamp still retained.
@@ -321,12 +466,39 @@ func (db *DB) Range(name string, from, to sim.Time) []Point {
 	defer db.mu.RUnlock()
 	se, ok := db.s[name]
 	if !ok {
+		if ss, ok := db.sk[name]; ok {
+			return ss.rangePoints(from, to)
+		}
 		return nil
 	}
 	var out []Point
 	db.scanLocked(se, from, to,
 		func(p Point) { out = append(out, p) },
 		func(b Bucket) { out = append(out, Point{T: b.Start, V: b.Mean()}) })
+	return out
+}
+
+// rangePoints is the sketch tier's coarse Range view: one mean point per
+// sealed window bucket, closed by the exact last sample so the tail of a
+// full-horizon scan always agrees with Latest.
+func (ss *sketchSeries) rangePoints(from, to sim.Time) []Point {
+	if ss.appended == 0 {
+		return nil
+	}
+	var out []Point
+	for i := 0; i < ss.win.n; i++ {
+		b := ss.win.at(i)
+		if b.Start < from || b.Start > to {
+			continue
+		}
+		if b.Start > ss.last.T {
+			break // straggler sealing: never emit past the live tail
+		}
+		out = append(out, Point{T: b.Start, V: b.Mean()})
+	}
+	if ss.last.T >= from && ss.last.T <= to {
+		out = append(out, ss.last)
+	}
 	return out
 }
 
@@ -337,11 +509,26 @@ func (db *DB) Range(name string, from, to sim.Time) []Point {
 // honest at the extremes for anything else). A bucket's contribution is
 // capped at 4096 synthetic samples.
 func (db *DB) Quantile(name string, from, to sim.Time, q float64) (float64, bool) {
+	v, _, ok := db.QuantileWithError(name, from, to, q)
+	return v, ok
+}
+
+// QuantileWithError answers like Quantile and additionally reports the
+// worst-case rank-error bound of the answer as a fraction of the sample
+// count: 0 for the exact tier, the quantile ladder's tracked bound for
+// sketch series. Sketch series answer over their whole horizon — the
+// ladder is mergeable but not range-decomposable — so from/to only gate
+// whether any data exists.
+func (db *DB) QuantileWithError(name string, from, to sim.Time, q float64) (float64, float64, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	se, ok := db.s[name]
 	if !ok {
-		return 0, false
+		if ss, ok := db.sk[name]; ok && ss.appended > 0 {
+			v, ok := ss.qs.Quantile(q)
+			return v, ss.qs.ErrorBound(), ok
+		}
+		return 0, 0, false
 	}
 	d := metrics.NewDistribution()
 	db.scanLocked(se, from, to,
@@ -362,9 +549,9 @@ func (db *DB) Quantile(name string, from, to sim.Time, q float64) (float64, bool
 			}
 		})
 	if d.Count() == 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	return d.Quantile(q), true
+	return d.Quantile(q), 0, true
 }
 
 // Stats summarizes the store's footprint and eviction activity.
@@ -379,6 +566,19 @@ type Stats struct {
 	CoarseEvicted   uint64
 	RetainedPoints  int // raw + buckets across tiers
 	CapacityPerSeri int // raw+win+coarse capacity, the memory bound driver
+
+	// Sketch tier accounting. SketchBytes is the tier's live footprint;
+	// the enforced invariant is
+	// SketchBytes <= SketchSeries * SketchBudgetPerSeries.
+	SketchSeries          int
+	SketchBytes           int
+	SketchBudgetPerSeries int
+	// SketchMaxErrBound is the worst quantile rank-error bound any
+	// sketch series currently reports.
+	SketchMaxErrBound float64
+	// IngestedRecords counts records consumed via IngestRecords.
+	IngestedRecords uint64
+	CountMinBytes   int
 }
 
 // Stats snapshots the store.
@@ -386,8 +586,12 @@ func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	st := Stats{
-		Series:          len(db.s),
-		CapacityPerSeri: db.cfg.RawCapacity + db.cfg.WindowCapacity + db.cfg.CoarseCapacity,
+		Series:                len(db.s) + len(db.sk),
+		CapacityPerSeri:       db.cfg.RawCapacity + db.cfg.WindowCapacity + db.cfg.CoarseCapacity,
+		SketchSeries:          len(db.sk),
+		SketchBudgetPerSeries: db.cfg.SketchBytesPerSeries,
+		IngestedRecords:       db.ingested,
+		CountMinBytes:         db.counts.Bytes(),
 	}
 	for _, se := range db.s {
 		st.Appended += se.appended
@@ -397,6 +601,15 @@ func (db *DB) Stats() Stats {
 		st.WindowEvicted += se.win.evicted
 		st.CoarseBuckets += se.coarse.n
 		st.CoarseEvicted += se.coarse.evicted
+	}
+	for _, ss := range db.sk {
+		st.Appended += ss.appended
+		st.SketchBytes += ss.bytes()
+		st.WindowBuckets += ss.win.n
+		st.WindowEvicted += ss.win.evicted
+		if eb := ss.qs.ErrorBound(); eb > st.SketchMaxErrBound {
+			st.SketchMaxErrBound = eb
+		}
 	}
 	st.RetainedPoints = st.RawPoints + st.WindowBuckets + st.CoarseBuckets
 	return st
