@@ -20,7 +20,7 @@ test:
 # else runs once.
 race:
 	$(GO) test -race -count=2 ./internal/proto ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
-	$(GO) test -race -count=2 ./internal/fed
+	$(GO) test -race -count=2 ./internal/fed ./internal/qos ./internal/localizer
 	$(GO) test -race -timeout 30m ./...
 
 # Boot the live daemon with the ops console and smoke-test it over real
@@ -72,13 +72,18 @@ fed-smoke:
 soak-selftest:
 	$(GO) test -tags chaosbreak ./internal/chaos -run TestBrokenAccountingIsCaught -count=1
 
+# Localizer bake-off: Algorithm 1 vs 007 democratic voting over the
+# link-fault scenario families, published into EXPERIMENTS.md's table.
+bakeoff:
+	$(GO) run ./cmd/rpmesh run bakeoff-localizer
+
 # --- benchmark regression gate -----------------------------------------
 
 # Key benchmarks, each pinned by the regression gate: analyzer window
 # analysis (serial + sharded), incident folding, pipeline ingest, and
 # the pod-sharded simulation engine (serial vs 2/4 shards).
-BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest|BenchmarkEngineSharded)$$
-BENCH_PKGS    = . ./internal/analyzer ./internal/alert
+BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest|BenchmarkEngineSharded|BenchmarkLocalizer007)$$
+BENCH_PKGS    = . ./internal/analyzer ./internal/alert ./internal/localizer
 
 bench-json:
 	$(GO) build -o bin/benchdiff ./cmd/benchdiff
@@ -113,6 +118,8 @@ determinism:
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestFedDeterminism' ./internal/fed ./internal/chaos
 	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestRecordsEncodeDeterministic|TestSketchDeterministic' ./internal/proto ./internal/tsdb
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestRecordsEncodeDeterministic|TestSketchDeterministic' ./internal/proto ./internal/tsdb
+	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestQoSPauseStormClassSelective|TestQoSDisabledMatchesLegacy|TestShardedTallyMatchesSerial|TestQoSFaultDeterminism' ./internal/simnet ./internal/localizer ./internal/chaos
+	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestQoSPauseStormClassSelective|TestQoSDisabledMatchesLegacy|TestShardedTallyMatchesSerial|TestQoSFaultDeterminism' ./internal/simnet ./internal/localizer ./internal/chaos
 
 # --- static analysis ---------------------------------------------------
 

@@ -23,18 +23,22 @@ import (
 	"time"
 
 	"rpingmesh/internal/api"
+	"rpingmesh/internal/core"
 	"rpingmesh/internal/faultgen"
 	"rpingmesh/internal/fed"
+	"rpingmesh/internal/qos"
 	"rpingmesh/internal/topo"
 )
 
 type fedOptions struct {
-	nodes   int
-	quorum  int
-	seed    int64
-	windows int           // 0: run until interrupted
-	window  time.Duration // wall-clock pacing per coordination step
-	serve   string        // ops console address ("" disables)
+	nodes      int
+	quorum     int
+	seed       int64
+	windows    int           // 0: run until interrupted
+	window     time.Duration // wall-clock pacing per coordination step
+	serve      string        // ops console address ("" disables)
+	localizer  string        // "", "alg1" or "007"
+	qosClasses int           // > 1: per-priority fabric on every node
 }
 
 // runFedMode drives a live in-process federation: one coordination step
@@ -44,6 +48,12 @@ func runFedMode(o fedOptions) int {
 	d, err := fed.NewDeploy(fed.DeployConfig{
 		Fed:  fed.Config{Nodes: o.nodes, Quorum: o.quorum, Secret: uint64(o.seed) * 2654435761},
 		Seed: o.seed,
+		Configure: func(_ int, cfg *core.Config) {
+			cfg.Localizer = o.localizer
+			if o.qosClasses > 1 {
+				cfg.Net.QoS = qos.Profile(o.qosClasses)
+			}
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fed: %v\n", err)

@@ -139,6 +139,8 @@ func main() {
 	statsEvery := flag.Duration("stats", 10*time.Second, "self-metrics print interval")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analyzer shard workers per window (1 = serial)")
 	anWindow := flag.Duration("analyzer-window", 20*time.Second, "analyzer attribution window")
+	localizer := flag.String("localizer", "", "switch localizer: alg1 (Algorithm 1 whole-vote, default) or 007 (democratic per-flow voting)")
+	qosClasses := flag.Int("qos-classes", 0, "with -fed-nodes: run each node's simulated fabric with N per-priority traffic classes (0/1: single-class)")
 	serve := flag.String("serve", "", "ops-console HTTP listen address (e.g. :8080); empty disables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped on shutdown)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on shutdown")
@@ -149,6 +151,12 @@ func main() {
 	fedSmoke := flag.Bool("fed-smoke", false, "run the deterministic 3-node federation smoke check and exit")
 	flag.Parse()
 
+	switch *localizer {
+	case "", analyzer.LocalizerAlg1, analyzer.Localizer007:
+	default:
+		log.Fatalf("unknown -localizer %q (want alg1 or 007)", *localizer)
+	}
+
 	// Federation modes run their own loop; dispatch before the daemon path.
 	if *fedSmoke {
 		os.Exit(runFedSmoke())
@@ -157,6 +165,7 @@ func main() {
 		os.Exit(runFedMode(fedOptions{
 			nodes: *fedNodes, quorum: *fedQuorum, seed: *fedSeed,
 			windows: *fedWindows, window: *anWindow, serve: *serve,
+			localizer: *localizer, qosClasses: *qosClasses,
 		}))
 	}
 
@@ -206,8 +215,9 @@ func main() {
 	aeng := sim.New(0)
 	aeng.RunUntil(sim.Time(time.Now().UnixNano()))
 	an := analyzer.New(aeng, tp, ctrl, analyzer.Config{
-		Window:  sim.Time(*anWindow),
-		Workers: *workers,
+		Window:    sim.Time(*anWindow),
+		Workers:   *workers,
+		Localizer: *localizer,
 	})
 
 	// The ingest tier: wire.Server → pipeline (concurrent mode, one

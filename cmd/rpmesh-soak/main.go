@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"rpingmesh/internal/chaos"
@@ -39,6 +40,9 @@ func main() {
 		netFaults  = flag.Bool("net-faults", false, "force faultgen network faults on every scenario (default every third)")
 		shards     = flag.Int("shards", 0, "force the pod-sharded parallel engine with N shards on every scenario (default alternates serial and 2-shard)")
 		fedNodes   = flag.Int("fed-nodes", 0, "force a federated deployment with N nodes on every scenario (default: every fifth scenario runs 3-node)")
+		qosClasses = flag.Int("qos-classes", 0, "force an N-class QoS fabric on every scenario (default: every fourth scenario runs 4-class)")
+		qosFault   = flag.String("qos-fault", "", "force one QoS fault family on every QoS scenario ("+shortQoSFaults()+"; default rotates)")
+		localizer  = flag.String("localizer", "", "force the switch localizer (alg1,007) on every scenario (default alternates on QoS scenarios)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose    = flag.Bool("v", false, "per-scenario detail")
@@ -87,6 +91,15 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	parsedQoSFault, err := chaos.ParseQoSFault(*qosFault)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *localizer != "" && *localizer != "alg1" && *localizer != "007" {
+		fmt.Fprintf(os.Stderr, "unknown localizer %q (want alg1,007)\n", *localizer)
+		os.Exit(2)
+	}
 	// Flags the user pinned apply to every scenario; the rest rotate so a
 	// default run covers all three overload policies and both transports.
 	pinned := map[string]bool{}
@@ -123,6 +136,18 @@ func main() {
 		if i%5 == 3 {
 			sc.FedNodes = 3
 		}
+		// Every fourth scenario runs a 4-class lossless fabric with one
+		// QoS fault family (rotating through pfc-storm, dscp-mismap,
+		// cnp-starve, incast) and alternates the switch localizer, so PFC
+		// pause propagation and 007 voting soak continuously.
+		if i%4 == 2 {
+			faults := chaos.QoSFaultKinds()
+			sc.QoSClasses = 4
+			sc.QoSFault = faults[(i/4)%len(faults)]
+			if (i/4)%2 == 1 {
+				sc.Localizer = "007"
+			}
+		}
 		if pinned["policy"] {
 			sc.Policy = fixedPolicy
 		}
@@ -138,6 +163,18 @@ func main() {
 		if pinned["fed-nodes"] {
 			sc.FedNodes = *fedNodes
 		}
+		if pinned["qos-classes"] {
+			sc.QoSClasses = *qosClasses
+		}
+		if pinned["qos-fault"] {
+			sc.QoSFault = parsedQoSFault
+			if sc.QoSClasses <= 1 {
+				sc.QoSClasses = 4
+			}
+		}
+		if pinned["localizer"] {
+			sc.Localizer = *localizer
+		}
 
 		res, err := chaos.Run(sc)
 		if err != nil {
@@ -149,8 +186,15 @@ func main() {
 		if res.Failed() {
 			status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
 		}
-		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d fed=%d events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
-			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards, sc.FedNodes,
+		qosNote := ""
+		if sc.QoSClasses > 1 {
+			qosNote = fmt.Sprintf(" qos=%d/%s", sc.QoSClasses, sc.QoSFault)
+			if sc.Localizer != "" {
+				qosNote += "/" + sc.Localizer
+			}
+		}
+		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d fed=%d%s events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
+			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards, sc.FedNodes, qosNote,
 			len(res.Events), res.Windows,
 			res.Pipeline.Dropped(), res.Pipeline.ResultsShed, res.Pipeline.BlockWaits, status)
 		if len(res.LeaderHistory) > 0 && *verbose {
@@ -165,6 +209,9 @@ func main() {
 	}
 	fmt.Printf("soak: %d scenarios green in %.1fs\n", ran, time.Since(start).Seconds())
 }
+
+// shortQoSFaults renders the QoS fault family names for flag help.
+func shortQoSFaults() string { return strings.Join(chaos.QoSFaultKinds(), ",") }
 
 // leaderLine renders a federated run's per-window committing leader
 // (-1: no commit that window).

@@ -22,12 +22,20 @@ import (
 	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/core"
 	"rpingmesh/internal/faultgen"
+	"rpingmesh/internal/qos"
 	"rpingmesh/internal/service"
 	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
 	"rpingmesh/internal/topo"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/analyzer_golden.json from the current analyzer output")
+
+// goldenNetCfg is the simnet config the golden scenarios run under. The
+// zero value is the recorded baseline; TestGoldenEquivalenceQoSDisabled
+// swaps in an explicit single-class QoS config to prove it changes
+// nothing.
+var goldenNetCfg simnet.Config
 
 const goldenPath = "testdata/analyzer_golden.json"
 
@@ -47,7 +55,7 @@ func goldenCluster(t testing.TB, seed int64, acfg analyzer.Config) *rpingmesh.Cl
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := rpingmesh.New(core.Config{Topology: tp, Seed: seed, Analyzer: acfg})
+	c, err := rpingmesh.New(core.Config{Topology: tp, Seed: seed, Analyzer: acfg, Net: goldenNetCfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,6 +277,29 @@ func TestGoldenEquivalence(t *testing.T) {
 			got := digestReports(sc.run(t, analyzer.Config{Workers: 4}))
 			if got != golden[sc.name] {
 				t.Fatalf("parallel (Workers=4) report sequence diverged from serial golden\n got %s\nwant %s", got, golden[sc.name])
+			}
+		})
+	}
+}
+
+// TestGoldenEquivalenceQoSDisabled proves the QoS threading is inert
+// when disabled: running every golden scenario with an explicit
+// single-class QoS config (Classes: 1 — the largest "off" configuration)
+// must reproduce the recorded digests bit for bit. QoS setup draws no
+// randomness and the single-class path never leaves the legacy tick, so
+// any divergence here means the QoS subsystem leaked into baseline
+// physics.
+func TestGoldenEquivalenceQoSDisabled(t *testing.T) {
+	golden := loadGolden(t)
+	old := goldenNetCfg
+	goldenNetCfg = simnet.Config{QoS: qos.Profile(1)}
+	defer func() { goldenNetCfg = old }()
+	for _, sc := range goldenScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			got := digestReports(sc.run(t, analyzer.Config{}))
+			if got != golden[sc.name] {
+				t.Fatalf("QoS-disabled run diverged from recorded golden\n got %s\nwant %s", got, golden[sc.name])
 			}
 		})
 	}

@@ -235,6 +235,13 @@ type Config struct {
 	// — seeded simulations keep the default while the live deployment
 	// (cmd/rpmesh-controller) sets it to the core count.
 	Workers int
+	// Localizer selects the switch-localization algorithm: "" or "alg1"
+	// runs the paper's Algorithm 1 (whole-vote binary tomography);
+	// "007" swaps in 007's democratic per-flow voting
+	// (internal/localizer), where each bad path splits one vote equally
+	// over its links. Both emit identical problem shapes, so every
+	// downstream stage and consumer is localizer-agnostic.
+	Localizer string
 }
 
 func (c *Config) setDefaults() {
@@ -267,6 +274,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.RetainWindows <= 0 {
 		c.RetainWindows = 8192
+	}
+	if c.Localizer == "" || c.Localizer == "alg1" {
+		c.Localizer = LocalizerAlg1
 	}
 }
 

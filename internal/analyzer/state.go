@@ -114,15 +114,21 @@ func NewStage(name string, fn func(*WindowState)) Stage {
 	return funcStage{name: name, fn: fn}
 }
 
-// defaultStages builds the paper's cascade over this Analyzer.
+// defaultStages builds the paper's cascade over this Analyzer. The
+// switch-localization slot is the localizer plug-point: Config.Localizer
+// picks Algorithm 1 (default) or 007's democratic voting.
 func (a *Analyzer) defaultStages() []Stage {
+	vote := NewStage(StageSwitchVote, a.stageSwitchVote)
+	if a.cfg.Localizer == Localizer007 {
+		vote = NewStage(StageSwitchVote007, a.stage007Vote)
+	}
 	return []Stage{
 		NewStage(StageClassify, a.stageClassify),
 		NewStage(StageHostDownFilter, a.stageHostDownFilter),
 		NewStage(StageQPNResetFilter, a.stageQPNResetFilter),
 		NewStage(StageRNICDetect, a.stageRNICDetect),
 		NewStage(StageCPUNoiseFilter, a.stageCPUNoiseFilter),
-		NewStage(StageSwitchVote, a.stageSwitchVote),
+		vote,
 		NewStage(StageSLAAggregate, a.stageSLAAggregate),
 		NewStage(StageBottleneckDetect, a.stageBottleneckDetect),
 		NewStage(StageImpactAssess, a.stageImpactAssess),

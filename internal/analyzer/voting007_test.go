@@ -1,0 +1,120 @@
+package analyzer
+
+import (
+	"testing"
+
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/topo"
+)
+
+func TestLocalizer007StagePlugged(t *testing.T) {
+	h := newHarness(t, Config{Localizer: Localizer007})
+	saw007, sawAlg1 := false, false
+	for _, name := range h.an.Stages() {
+		switch name {
+		case StageSwitchVote007:
+			saw007 = true
+		case StageSwitchVote:
+			sawAlg1 = true
+		}
+	}
+	if !saw007 || sawAlg1 {
+		t.Fatalf("007 pipeline shape wrong: %v", h.an.Stages())
+	}
+	// The default keeps Algorithm 1.
+	def := newHarness(t, Config{})
+	for _, name := range def.an.Stages() {
+		if name == StageSwitchVote007 {
+			t.Fatalf("007 stage present without opting in: %v", def.an.Stages())
+		}
+	}
+}
+
+func TestLocalizer007FindsSharedLink(t *testing.T) {
+	// When every anomalous path has the same length, 007 and Algorithm 1
+	// must agree on the culprit: the one link every bad path crosses.
+	for _, loc := range []string{LocalizerAlg1, Localizer007} {
+		h := newHarness(t, Config{Localizer: loc})
+		results := h.torMeshTraffic(6, nil)
+		src := h.tp.RNICsUnderToR("tor-0-1")[0]
+		dst := h.tp.RNICsUnderToR("tor-1-0")[0]
+		shared := h.tp.LinkBetween("tor-1-0", "agg-1-0")
+		for i := 0; i < 8; i++ {
+			r := h.mkResult(src, dst, proto.InterToR, true)
+			r.ProbePath = []topo.LinkID{h.tp.LinkBetween("tor-0-1", "agg-0-0"), shared}
+			r.AckPath = []topo.LinkID{shared}
+			results = append(results, r)
+		}
+		h.uploadAll(results)
+		rep := h.tick()
+		found := false
+		for _, p := range rep.Problems {
+			if p.Kind == ProblemSwitchLink && p.Link == shared {
+				found = true
+				if p.Evidence <= 0 {
+					t.Fatalf("[%s] zero evidence on culprit", loc)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("[%s] culprit link not localized: %+v", loc, rep.Problems)
+		}
+	}
+}
+
+func TestLocalizer007DemocraticWeighting(t *testing.T) {
+	// The discriminating case: link A is crossed by three SHORT bad paths
+	// (1/2 vote each = 1.5), link B by four LONG bad paths (1/4 vote each
+	// = 1.0). Algorithm 1 would blame B (4 whole votes vs 3); 007 blames
+	// A. Filler links keep each suspicion from concentrating on one host
+	// cable.
+	h := newHarness(t, Config{Localizer: Localizer007})
+	results := h.torMeshTraffic(6, nil)
+	src := h.tp.RNICsUnderToR("tor-0-1")[0]
+	dst := h.tp.RNICsUnderToR("tor-1-0")[0]
+	linkA := h.tp.LinkBetween("tor-0-1", "agg-0-0")
+	linkB := h.tp.LinkBetween("tor-1-0", "agg-1-0")
+	// Distinct switch-to-switch filler links, so no filler accumulates
+	// enough shares to tie linkA: short-path fillers are crossed once
+	// (1/2 vote), long-path fillers four times at 1/4 (1.0 vote).
+	var fabric []topo.LinkID
+	for i, l := range h.tp.Links {
+		_, fsw := h.tp.Switches[l.From]
+		_, tsw := h.tp.Switches[l.To]
+		lid := topo.LinkID(i)
+		if fsw && tsw && lid != linkA && lid != linkB {
+			fabric = append(fabric, lid)
+		}
+	}
+	if len(fabric) < 6 {
+		t.Fatalf("need 6 filler fabric links, have %d", len(fabric))
+	}
+	shortFill, longFill := fabric[:3], fabric[3:6]
+	for i := 0; i < 3; i++ {
+		r := h.mkResult(src, dst, proto.InterToR, true)
+		r.ProbePath = []topo.LinkID{linkA, shortFill[i]}
+		r.AckPath = []topo.LinkID{}
+		results = append(results, r)
+	}
+	for i := 0; i < 4; i++ {
+		r := h.mkResult(src, dst, proto.InterToR, true)
+		r.ProbePath = []topo.LinkID{linkB, longFill[0], longFill[1], longFill[2]}
+		r.AckPath = []topo.LinkID{}
+		results = append(results, r)
+	}
+	h.uploadAll(results)
+	rep := h.tick()
+	var culprit *Problem
+	for i := range rep.Problems {
+		if rep.Problems[i].Kind == ProblemSwitchLink && !rep.Problems[i].FromServiceTracing {
+			culprit = &rep.Problems[i]
+		}
+	}
+	if culprit == nil {
+		t.Fatalf("no switch-link problem: %+v", rep.Problems)
+	}
+	if culprit.Link != linkA {
+		t.Fatalf("007 blamed %v, want the short-path link %v (problems %+v)",
+			culprit.Link, linkA, rep.Problems)
+	}
+}

@@ -1,0 +1,175 @@
+package cc
+
+import (
+	"testing"
+
+	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/qos"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/simnet"
+	"rpingmesh/internal/topo"
+)
+
+// Congestion control on a QoS-enabled fabric: ECN marks travel back as
+// CNPs on their own priority, so the feedback delay depends on the CNP
+// class's queue and pause state (internal/simnet qos mode). These tests
+// pin the two regimes: a clean CNP priority keeps DCQCN/Improved
+// convergent, and a congested CNP priority delays or starves feedback,
+// measurably deepening the data-class queue before control bites.
+
+// qosIncast drives an n-to-1 incast of DemandGbps flows carrying dscp
+// onto one host and reports the max data-class queue depth on the
+// victim downlink plus the mean aggregate throughput after warmup.
+func qosIncast(t *testing.T, ccImpl simnet.CongestionControl, qcfg qos.Config, dscp uint8, horizon sim.Time) (maxQ, thr float64) {
+	t.Helper()
+	tp, err := topo.BuildClos(topo.ClosConfig{Pods: 1, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2, HostsPerToR: 4, RNICsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(3)
+	// A 10µs tick makes realistic CNP transit times (tens of µs across a
+	// congested class) span multiple ticks, so feedback delay is visible.
+	net := simnet.New(eng, tp, simnet.Config{CC: ccImpl, QoS: qcfg, Tick: 10 * sim.Microsecond})
+	cls := net.ClassOf(dscp)
+	dst := tp.RNICsUnderToR("tor-0-1")[0]
+	srcs := tp.RNICsUnderToR("tor-0-0")
+	var flows []*simnet.Flow
+	for i, s := range srcs {
+		f, err := net.AddFlow(simnet.FlowSpec{
+			Src: s, Dst: dst,
+			Tuple:      ecmp.RoCETuple(tp.RNICs[s].IP, tp.RNICs[dst].IP, uint16(4000+i)),
+			DemandGbps: 400, DSCP: dscp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	downlink := tp.LinkBetween(tp.RNICs[dst].ToR, dst)
+	warm := horizon / 2
+	samples := 0
+	for eng.Now() < horizon {
+		eng.RunUntil(eng.Now() + 100*sim.Microsecond)
+		if q := net.ClassQueueBytesOn(downlink, cls); q > maxQ {
+			maxQ = q
+		}
+		if eng.Now() >= warm {
+			sum := 0.0
+			for _, f := range flows {
+				sum += f.Rate()
+			}
+			thr += sum
+			samples++
+		}
+	}
+	return maxQ, thr / float64(samples)
+}
+
+func TestDCQCNConvergesOnQoSFabric(t *testing.T) {
+	// Healthy fabric, CNP on its own clean top priority: DCQCN must keep
+	// the class queue bounded below the no-CC ceiling and utilization
+	// sane — the QoS analogue of TestCCBoundsQueues.
+	qNone, _ := qosIncast(t, nil, qos.Profile(4), 8, 100*sim.Millisecond)
+	qDCQCN, thr := qosIncast(t, DCQCN{}, qos.Profile(4), 8, 100*sim.Millisecond)
+	if qDCQCN >= qNone {
+		t.Fatalf("DCQCN class queue (%v) not below no-CC ceiling (%v)", qDCQCN, qNone)
+	}
+	if thr < 200 || thr > 401 {
+		t.Fatalf("DCQCN aggregate throughput %v outside (200, 401]", thr)
+	}
+}
+
+func TestImprovedConvergesOnQoSFabric(t *testing.T) {
+	qNone, _ := qosIncast(t, nil, qos.Profile(4), 8, 100*sim.Millisecond)
+	qImp, thr := qosIncast(t, Improved{}, qos.Profile(4), 8, 100*sim.Millisecond)
+	if qImp >= qNone {
+		t.Fatalf("Improved class queue (%v) not below no-CC ceiling (%v)", qImp, qNone)
+	}
+	if thr < 200 || thr > 401 {
+		t.Fatalf("Improved aggregate throughput %v outside (200, 401]", thr)
+	}
+}
+
+// The CNP-priority lesson: when CNPs are misconfigured onto the SAME
+// class as the data they police, the data's own congestion delays its
+// own feedback (self-starvation) and queues run measurably deeper before
+// control bites than with CNP on a clean dedicated priority.
+func cnpStarvationDeepensQueue(t *testing.T, ccImpl simnet.CongestionControl) {
+	t.Helper()
+	const dataDSCP = 16     // class 2 under Profile(4)
+	clean := qos.Profile(4) // CNP on class 3: always empty here
+	dirty := qos.Profile(4)
+	dirty.CNPClass = 2 // CNP rides the congested data class
+
+	qClean, thrClean := qosIncast(t, ccImpl, clean, dataDSCP, 100*sim.Millisecond)
+	qDirty, thrDirty := qosIncast(t, ccImpl, dirty, dataDSCP, 100*sim.Millisecond)
+
+	if qDirty <= qClean {
+		t.Fatalf("starved CNP did not deepen the queue: dirty=%v clean=%v", qDirty, qClean)
+	}
+	// Control still converges eventually in both regimes.
+	if thrClean < 150 || thrClean > 401 || thrDirty < 150 || thrDirty > 401 {
+		t.Fatalf("throughput out of range: clean=%v dirty=%v", thrClean, thrDirty)
+	}
+}
+
+func TestDCQCNUnderCNPStarvation(t *testing.T)    { cnpStarvationDeepensQueue(t, DCQCN{}) }
+func TestImprovedUnderCNPStarvation(t *testing.T) { cnpStarvationDeepensQueue(t, Improved{}) }
+
+// Fairness survives class-dependent CNP delay: two DCQCN flows on the
+// storage class still converge to a fair-ish split while a clean GPU
+// class flow on the same wires keeps full line rate.
+func TestDCQCNFairnessUnderQoS(t *testing.T) {
+	tp, err := topo.BuildClos(topo.ClosConfig{Pods: 1, ToRsPerPod: 2, AggsPerPod: 1, Spines: 1, HostsPerToR: 3, RNICsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(8)
+	net := simnet.New(eng, tp, simnet.Config{CC: DCQCN{}, QoS: qos.Profile(4)})
+	dstT := tp.RNICsUnderToR("tor-0-1")
+	dst, dstGPU := dstT[0], dstT[1]
+	srcs := tp.RNICsUnderToR("tor-0-0")
+	var storage []*simnet.Flow
+	for i, s := range srcs[:2] {
+		f, err := net.AddFlow(simnet.FlowSpec{
+			Src: s, Dst: dst,
+			Tuple:      ecmp.RoCETuple(tp.RNICs[s].IP, tp.RNICs[dst].IP, uint16(6000+i)),
+			DemandGbps: 400, DSCP: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		storage = append(storage, f)
+	}
+	gpu, err := net.AddFlow(simnet.FlowSpec{
+		Src: srcs[2], Dst: dstGPU,
+		Tuple:      ecmp.RoCETuple(tp.RNICs[srcs[2]].IP, tp.RNICs[dstGPU].IP, 7000),
+		DemandGbps: 100, DSCP: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(300 * sim.Millisecond)
+	sum := make([]float64, 2)
+	gpuSum, samples := 0.0, 0
+	for eng.Now() < 800*sim.Millisecond {
+		eng.RunUntil(eng.Now() + 10*sim.Millisecond)
+		for i, f := range storage {
+			sum[i] += f.Rate()
+		}
+		gpuSum += gpu.Rate()
+		samples++
+	}
+	a, b := sum[0]/float64(samples), sum[1]/float64(samples)
+	if ratio := a / b; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("unfair storage split under QoS: %.1f vs %.1f Gbps", a, b)
+	}
+	// The per-class ECN threshold is a quarter of the legacy link-wide
+	// one, so DCQCN marks earlier and settles below the no-QoS 250 Gbps.
+	if a+b < 180 {
+		t.Fatalf("storage aggregate %.1f Gbps underutilizes the bottleneck", a+b)
+	}
+	if g := gpuSum / float64(samples); g < 99 {
+		t.Fatalf("GPU-class flow degraded to %.1f Gbps by storage congestion", g)
+	}
+}

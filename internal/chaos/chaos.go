@@ -209,6 +209,15 @@ type Scenario struct {
 	// (node-partition, coordinator-kill, vote-delay), and the federation
 	// invariant suite instead of the single-cluster one.
 	FedNodes int
+	// QoSClasses > 1 runs the fabric with that many per-priority queues
+	// (qos.Profile); 0/1 keeps the single-class legacy fabric.
+	QoSClasses int
+	// QoSFault plays one QoS fault family (QoSFaultKinds) underneath the
+	// monitoring chaos. Requires QoSClasses > 1.
+	QoSFault string
+	// Localizer selects the Analyzer's switch-localization stage
+	// ("alg1" default, "007" democratic voting).
+	Localizer string
 }
 
 func (sc *Scenario) setDefaults() {
@@ -244,6 +253,15 @@ func (sc *Scenario) enabled(k Kind) bool {
 func (sc Scenario) ReproArgs() string {
 	args := fmt.Sprintf("-seed %d -scenarios 1 -windows %d -kinds %s -policy %s",
 		sc.Seed, sc.Windows, FormatKinds(sc.Kinds), sc.Policy)
+	if sc.QoSClasses > 1 {
+		args += fmt.Sprintf(" -qos-classes %d", sc.QoSClasses)
+	}
+	if sc.QoSFault != "" {
+		args += fmt.Sprintf(" -qos-fault %s", sc.QoSFault)
+	}
+	if sc.Localizer != "" {
+		args += fmt.Sprintf(" -localizer %s", sc.Localizer)
+	}
 	if sc.Wire {
 		args += " -wire"
 	}

@@ -1,0 +1,53 @@
+//go:build !chaosbreak
+
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQoSFaultFamiliesGreen: every QoS fault family runs on a
+// multi-class fabric with zero invariant violations, and the repro line
+// pins the QoS configuration.
+func TestQoSFaultFamiliesGreen(t *testing.T) {
+	for i, fault := range QoSFaultKinds() {
+		fault := fault
+		seed := int64(100 + i)
+		t.Run(fault, func(t *testing.T) {
+			sc := Scenario{Seed: seed, Windows: 6, QoSClasses: 4, QoSFault: fault, Localizer: "007"}
+			res := mustRun(t, sc)
+			assertGreen(t, res)
+			repro := res.Scenario.ReproArgs()
+			for _, want := range []string{"-qos-classes 4", "-qos-fault " + fault, "-localizer 007"} {
+				if !strings.Contains(repro, want) {
+					t.Fatalf("repro line %q missing %q", repro, want)
+				}
+			}
+		})
+	}
+}
+
+// TestQoSFaultDeterminism: a QoS-faulted multi-class scenario replays
+// bit-identically — the per-class tick, pause propagation, and CNP
+// delay model are all pure functions of the seed.
+func TestQoSFaultDeterminism(t *testing.T) {
+	sc := Scenario{Seed: 77, Windows: 5, QoSClasses: 4, QoSFault: QoSFaultPFCStorm}
+	a := mustRun(t, sc)
+	b := mustRun(t, sc)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints diverge:\n  a: %s\n  b: %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+func TestParseQoSFault(t *testing.T) {
+	if _, err := ParseQoSFault("pfc-storm"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ParseQoSFault(""); got != "" {
+		t.Fatalf("empty fault parsed to %q", got)
+	}
+	if _, err := ParseQoSFault("nope"); err == nil {
+		t.Fatal("bogus fault accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"rpingmesh/internal/faultgen"
 	"rpingmesh/internal/pipeline"
 	"rpingmesh/internal/proto"
+	"rpingmesh/internal/qos"
 	"rpingmesh/internal/sim"
 	"rpingmesh/internal/topo"
 	"rpingmesh/internal/wire"
@@ -96,10 +97,14 @@ func build(sc *Scenario) (*harness, error) {
 	}
 
 	ccfg := core.Config{
-		Topology: tp,
-		Seed:     sc.Seed,
-		Shards:   sc.Shards,
-		Pipeline: pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
+		Topology:  tp,
+		Seed:      sc.Seed,
+		Shards:    sc.Shards,
+		Localizer: sc.Localizer,
+		Pipeline:  pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
+	}
+	if sc.QoSClasses > 1 {
+		ccfg.Net.QoS = qos.Profile(sc.QoSClasses)
 	}
 	if sc.Wire {
 		ccfg.WrapController = func(local proto.Controller) proto.Controller {
@@ -199,6 +204,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if sc.NetworkFaults {
 		h.playNetworkFaults(horizon)
+	}
+	if sc.QoSFault != "" && sc.QoSClasses > 1 {
+		h.playQoSFault(horizon)
 	}
 
 	h.c.Run(horizon)

@@ -61,6 +61,13 @@ type Config struct {
 	// decision tree, or a future INT-based localizer).
 	AnalyzerStages []analyzer.Stage
 
+	// Localizer selects the Analyzer's switch-localization algorithm:
+	// "" / "alg1" for the paper's Algorithm 1, "007" for democratic
+	// per-flow voting (internal/localizer). Shorthand for setting
+	// Analyzer.Localizer; the explicit Analyzer field wins if both are
+	// set.
+	Localizer string
+
 	// MaxClockOffset randomizes each RNIC and host clock offset uniformly
 	// in [-MaxClockOffset, +MaxClockOffset]. Defaults to 10 s — large
 	// enough that any algebra accidentally mixing clocks is glaring.
@@ -220,6 +227,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	net := simnet.New(eng, tp, cfg.Net)
 	ctrl := controller.New(eng, tp, cfg.Controller)
+	if cfg.Analyzer.Localizer == "" {
+		cfg.Analyzer.Localizer = cfg.Localizer
+	}
 	an := analyzer.New(eng, tp, ctrl, cfg.Analyzer)
 	for _, s := range cfg.AnalyzerStages {
 		an.AppendStage(s)

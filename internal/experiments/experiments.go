@@ -66,7 +66,7 @@ var paperOrder = []string{
 	"fig1", "fig2", "table1", "eq1", "fig4",
 	"fig5", "fig6", "fig7",
 	"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2",
-	"lb-guidance", "ext-diagnosis",
+	"lb-guidance", "ext-diagnosis", "bakeoff-localizer",
 	"ablation-tormesh", "ablation-pathtracing", "ablation-aggregation", "ablation-cpufilter",
 }
 

@@ -1,0 +1,114 @@
+// Package localizer implements 007's democratic per-flow link voting
+// (Arzani et al., NSDI 2018 — PAPERS.md) as a drop-in competitor to the
+// paper's Algorithm 1 for the Analyzer's switch-localization stage.
+//
+// Where Algorithm 1 gives every anomalous path one whole vote per link it
+// crosses, 007 is democratic: each bad flow distributes a single vote
+// equally over its path, so a flow crossing h links adds 1/h to each.
+// Long paths therefore implicate their links more weakly than short
+// ones, which compensates for the fact that long paths cross more links
+// by construction. The most-voted link is blamed.
+//
+// Votes are scaled integers: VoteScale is divisible by every path length
+// up to 16 hops, so 1/h is exact, tallies merge commutatively across
+// worker shards, and the result is bit-identical for any worker count —
+// the same determinism contract Algorithm 1's integer votes satisfy.
+package localizer
+
+import (
+	"sort"
+	"sync"
+
+	"rpingmesh/internal/topo"
+)
+
+// VoteScale is the fixed-point denominator: 720720 = lcm(1..16), so a
+// 1/h vote share is exact for any path of at most 16 links. Longer paths
+// (none exist in our Clos fabrics: probe+ACK tops out at 12) truncate.
+const VoteScale = 720720
+
+// LinkScore is one link's accumulated democratic vote mass.
+type LinkScore struct {
+	Link topo.LinkID
+	// Score is in 1/VoteScale vote units: a whole vote is VoteScale.
+	Score int64
+}
+
+// Votes reports the score in whole-vote units, rounded up so a link
+// implicated by even a sliver of a vote never reports zero evidence.
+func (s LinkScore) Votes() int {
+	return int((s.Score + VoteScale - 1) / VoteScale)
+}
+
+// Vote007 tallies democratic votes over the anomalous paths: each path
+// adds VoteScale/len(path) to every link it crosses. Sharded over
+// workers when asked; shards take disjoint path subsets and the integer
+// scores merge commutatively, so the tally is identical to a serial
+// count for any worker count.
+func Vote007(paths [][]topo.LinkID, workers int) map[topo.LinkID]int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	locals := make([]map[topo.LinkID]int64, workers)
+	runSharded(workers, func(w int) {
+		m := make(map[topo.LinkID]int64)
+		for i := w; i < len(paths); i += workers {
+			p := paths[i]
+			if len(p) == 0 {
+				continue
+			}
+			share := int64(VoteScale / len(p))
+			for _, link := range p {
+				m[link] += share
+			}
+		}
+		locals[w] = m
+	})
+	merged := locals[0]
+	for _, m := range locals[1:] {
+		for l, v := range m {
+			merged[l] += v
+		}
+	}
+	return merged
+}
+
+// Top returns every link sharing the highest score (ties are all
+// suspicious), sorted by link ID for determinism — the same contract as
+// Algorithm 1's topVotes.
+func Top(scores map[topo.LinkID]int64) []LinkScore {
+	if len(scores) == 0 {
+		return nil
+	}
+	var max int64
+	for _, v := range scores {
+		if v > max {
+			max = v
+		}
+	}
+	var out []LinkScore
+	for l, v := range scores {
+		if v == max {
+			out = append(out, LinkScore{Link: l, Score: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+// runSharded fans fn out over n workers and waits; n <= 1 runs inline.
+func runSharded(n int, fn func(worker int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,98 @@
+package localizer
+
+import (
+	"reflect"
+	"testing"
+
+	"rpingmesh/internal/topo"
+)
+
+func TestDemocraticShares(t *testing.T) {
+	// One 2-hop bad flow and one 4-hop bad flow sharing link 1: the
+	// shared link gets 1/2 + 1/4 = 3/4 of a vote and wins over every
+	// exclusively-crossed link.
+	paths := [][]topo.LinkID{
+		{1, 2},
+		{1, 3, 4, 5},
+	}
+	scores := Vote007(paths, 1)
+	if got := scores[1]; got != VoteScale/2+VoteScale/4 {
+		t.Fatalf("shared link score = %d, want %d", got, VoteScale/2+VoteScale/4)
+	}
+	if got := scores[2]; got != VoteScale/2 {
+		t.Fatalf("link 2 score = %d", got)
+	}
+	top := Top(scores)
+	if len(top) != 1 || top[0].Link != 1 {
+		t.Fatalf("top = %+v, want link 1 alone", top)
+	}
+	if top[0].Votes() != 1 {
+		t.Fatalf("Votes() = %d, want 1 (3/4 rounds up)", top[0].Votes())
+	}
+}
+
+func TestLongPathsImplicateWeakly(t *testing.T) {
+	// Algorithm 1 would tie these: every link crossed by exactly two bad
+	// paths. 007 blames the short paths' link because each short flow
+	// commits half a vote to it while the long flows dilute theirs.
+	paths := [][]topo.LinkID{
+		{10, 11}, {10, 12},
+		{20, 21, 22, 23}, {20, 24, 25, 26},
+	}
+	top := Top(Vote007(paths, 1))
+	if len(top) != 1 || top[0].Link != 10 {
+		t.Fatalf("top = %+v, want link 10 alone", top)
+	}
+}
+
+func TestShardedTallyMatchesSerial(t *testing.T) {
+	var paths [][]topo.LinkID
+	for i := 0; i < 500; i++ {
+		p := make([]topo.LinkID, 1+i%12)
+		for j := range p {
+			p[j] = topo.LinkID((i*7 + j*3) % 64)
+		}
+		paths = append(paths, p)
+	}
+	serial := Vote007(paths, 1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := Vote007(paths, workers); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d tally diverged from serial", workers)
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Top(Vote007(nil, 4)) != nil {
+		t.Fatal("no paths must yield no suspects")
+	}
+	if got := Vote007([][]topo.LinkID{{}, {}}, 1); len(got) != 0 {
+		t.Fatalf("empty paths voted: %v", got)
+	}
+}
+
+func TestTiesSortedByLink(t *testing.T) {
+	paths := [][]topo.LinkID{{5, 3}, {3, 5}}
+	top := Top(Vote007(paths, 1))
+	if len(top) != 2 || top[0].Link != 3 || top[1].Link != 5 {
+		t.Fatalf("ties not sorted: %+v", top)
+	}
+}
+
+func BenchmarkLocalizer007(b *testing.B) {
+	// Representative anomalous-window load: a few thousand probe+ACK
+	// paths (12 hops cross-pod) over a few hundred fabric links.
+	var paths [][]topo.LinkID
+	for i := 0; i < 4096; i++ {
+		p := make([]topo.LinkID, 12)
+		for j := range p {
+			p[j] = topo.LinkID((i*13 + j*5) % 320)
+		}
+		paths = append(paths, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Top(Vote007(paths, 1))
+	}
+}

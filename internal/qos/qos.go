@@ -1,0 +1,299 @@
+// Package qos models the per-priority QoS machinery of a lossless RoCE
+// fabric — the layer real deployments configure with DSCP→traffic-class
+// maps, per-priority PFC thresholds and buffer headroom, and a dedicated
+// priority for CNP congestion-notification packets.
+//
+// The model follows the OMNeT++ RoCEv2 PFC/RCM semantics (PAPERS.md):
+// every directed link (a Port here) carries Classes independent
+// byte-bounded queues. When a class queue crosses its XOff threshold the
+// port starts asserting PFC pause frames upstream for that class and
+// keeps asserting until the queue drains below XOn; a paused upstream
+// port stops transmitting the class entirely (lossless hold, not drop),
+// absorbing in-flight bytes in the class's headroom. Pause therefore
+// propagates hop by hop — a storm on the storage class can starve the
+// whole storage priority fleet-wide while the GPU class next to it never
+// queues — which is exactly the fault surface R-Pingmesh's hardest
+// diagnoses (PFC storms, Fig 8's pause tails) live on.
+//
+// The package is pure state + policy: internal/simnet threads it through
+// the fluid/discrete data plane, internal/cc sees its effect as
+// class-dependent CNP feedback delay. A Config with Classes <= 1 is the
+// disabled state — simnet then takes its classic single-queue path,
+// bit-identical to a build without this package.
+package qos
+
+import (
+	"fmt"
+
+	"rpingmesh/internal/sim"
+)
+
+// MaxClasses bounds the per-link queue count (hardware PFC has 8
+// priorities).
+const MaxClasses = 8
+
+// ClassConfig is one traffic class's queue policy on every port.
+type ClassConfig struct {
+	// MaxBytes bounds the class queue (its switch-buffer share).
+	MaxBytes float64
+	// XOffBytes is the PFC pause-assert threshold: at or above it the
+	// port sends pause frames upstream for this class.
+	XOffBytes float64
+	// XOnBytes is the resume threshold: pause stays asserted until the
+	// queue drains below it (hysteresis).
+	XOnBytes float64
+	// HeadroomBytes absorbs the in-flight bytes that keep arriving after
+	// pause is asserted. A correctly sized headroom makes the class
+	// lossless; a misconfigured port (simnet's badHeadroom) loses it.
+	HeadroomBytes float64
+	// ECNBytes is the per-class ECN marking threshold — well below XOff,
+	// so congestion control reacts before PFC ever engages.
+	ECNBytes float64
+}
+
+// Config is the fabric-wide QoS policy. The zero value (Classes 0) and
+// Classes 1 both mean "QoS disabled": one default class, the classic
+// single-queue data plane.
+type Config struct {
+	// Classes is the number of traffic classes per link (2..MaxClasses
+	// enables the per-priority model).
+	Classes int
+	// DSCPToClass maps each 6-bit DSCP value to a class index. Entries
+	// at or above Classes are clamped to the top class.
+	DSCPToClass [64]uint8
+	// CNPClass is the priority CNP congestion-notification packets
+	// travel on. 0 means the conventional default: the top class.
+	CNPClass int
+	// Class overrides per-class queue policy; missing entries (or zero
+	// fields) take defaults derived from the link buffer size.
+	Class []ClassConfig
+}
+
+// Enabled reports whether the per-priority model is on.
+func (c Config) Enabled() bool { return c.Classes > 1 }
+
+// Validate rejects configurations the resolver cannot clamp sensibly.
+func (c Config) Validate() error {
+	if c.Classes < 0 || c.Classes > MaxClasses {
+		return fmt.Errorf("qos: Classes %d out of range [0,%d]", c.Classes, MaxClasses)
+	}
+	if c.CNPClass < 0 || (c.Enabled() && c.CNPClass >= c.Classes) {
+		return fmt.Errorf("qos: CNPClass %d out of range [0,%d)", c.CNPClass, c.Classes)
+	}
+	if len(c.Class) > c.Classes {
+		return fmt.Errorf("qos: %d class overrides for %d classes", len(c.Class), c.Classes)
+	}
+	return nil
+}
+
+// ClassOf maps a packet DSCP to its class index.
+func (c Config) ClassOf(dscp uint8) int {
+	if !c.Enabled() {
+		return 0
+	}
+	cl := int(c.DSCPToClass[dscp&0x3f])
+	if cl >= c.Classes {
+		cl = c.Classes - 1
+	}
+	return cl
+}
+
+// ResolvedCNPClass is the CNP priority after default resolution.
+func (c Config) ResolvedCNPClass() int {
+	if !c.Enabled() {
+		return 0
+	}
+	if c.CNPClass > 0 && c.CNPClass < c.Classes {
+		return c.CNPClass
+	}
+	return c.Classes - 1
+}
+
+// Profile returns the conventional n-class deployment policy: DSCP d
+// rides class d>>3 (the standard eight-DSCP-per-priority carve, clamped
+// to the top class), and the top class doubles as the CNP priority —
+// the shape host RoCE QoS guides configure.
+func Profile(n int) Config {
+	cfg := Config{Classes: n}
+	if n <= 1 {
+		return cfg
+	}
+	for d := 0; d < 64; d++ {
+		cl := d >> 3
+		if cl >= n {
+			cl = n - 1
+		}
+		cfg.DSCPToClass[d] = uint8(cl)
+	}
+	cfg.CNPClass = n - 1
+	return cfg
+}
+
+// Port is one directed link's per-class queue state.
+type Port struct {
+	// Bytes is the per-class queue depth.
+	Bytes []float64
+	// Ecn marks classes whose queue is past the ECN threshold.
+	Ecn []bool
+	// Asserting marks classes whose queue crossed XOff and has not yet
+	// drained below XOn: this port is sending pause frames upstream.
+	Asserting []bool
+	// Paused marks classes this port may not transmit — some port at
+	// the downstream device is asserting pause. Set by the fabric's
+	// propagation pass each tick.
+	Paused []bool
+	// PauseWait is the modeled residual pause duration per paused class
+	// (the downstream queue's drain-to-XOn time).
+	PauseWait []sim.Time
+	// Offered is the tick-scratch per-class offered load in Gbps.
+	Offered []float64
+	// HeadroomDropBytes counts fluid bytes lost to queues overrunning
+	// cap+headroom — stays zero on a correctly configured fabric.
+	HeadroomDropBytes []float64
+}
+
+// Total is the summed queue depth across classes.
+func (p *Port) Total() float64 {
+	t := 0.0
+	for _, b := range p.Bytes {
+		t += b
+	}
+	return t
+}
+
+// State is the runtime QoS state of one fabric: the resolved per-class
+// parameters plus one Port per directed link, indexed by topo.LinkID.
+type State struct {
+	cfg    Config
+	cnp    int
+	params []ClassConfig
+	Ports  []Port
+}
+
+// NewState resolves a Config against the fabric's per-link buffer size
+// and ECN threshold and allocates per-port queue state.
+func NewState(cfg Config, ports int, linkMaxBytes, ecnBytes float64) *State {
+	n := cfg.Classes
+	s := &State{cfg: cfg, cnp: cfg.ResolvedCNPClass(), params: make([]ClassConfig, n)}
+	share := linkMaxBytes / float64(n)
+	for c := 0; c < n; c++ {
+		var o ClassConfig
+		if c < len(cfg.Class) {
+			o = cfg.Class[c]
+		}
+		p := ClassConfig{
+			MaxBytes:      share,
+			XOffBytes:     0.5 * share,
+			XOnBytes:      0.25 * share,
+			HeadroomBytes: 0.25 * share,
+			ECNBytes:      min(ecnBytes, 0.25*share),
+		}
+		if o.MaxBytes > 0 {
+			p.MaxBytes = o.MaxBytes
+			p.XOffBytes = 0.5 * o.MaxBytes
+			p.XOnBytes = 0.25 * o.MaxBytes
+			p.HeadroomBytes = 0.25 * o.MaxBytes
+			p.ECNBytes = min(ecnBytes, 0.25*o.MaxBytes)
+		}
+		if o.XOffBytes > 0 {
+			p.XOffBytes = o.XOffBytes
+		}
+		if o.XOnBytes > 0 {
+			p.XOnBytes = o.XOnBytes
+		}
+		if o.HeadroomBytes > 0 {
+			p.HeadroomBytes = o.HeadroomBytes
+		}
+		if o.ECNBytes > 0 {
+			p.ECNBytes = o.ECNBytes
+		}
+		s.params[c] = p
+	}
+	s.Ports = make([]Port, ports)
+	for i := range s.Ports {
+		s.Ports[i] = Port{
+			Bytes:             make([]float64, n),
+			Ecn:               make([]bool, n),
+			Asserting:         make([]bool, n),
+			Paused:            make([]bool, n),
+			PauseWait:         make([]sim.Time, n),
+			Offered:           make([]float64, n),
+			HeadroomDropBytes: make([]float64, n),
+		}
+	}
+	return s
+}
+
+// Classes is the resolved class count.
+func (s *State) Classes() int { return s.cfg.Classes }
+
+// CNPClass is the resolved CNP priority.
+func (s *State) CNPClass() int { return s.cnp }
+
+// Params returns a class's resolved queue policy.
+func (s *State) Params(c int) ClassConfig { return s.params[c] }
+
+// ClassOf maps a packet DSCP to its class.
+func (s *State) ClassOf(dscp uint8) int { return s.cfg.ClassOf(dscp) }
+
+// Remap rebinds one DSCP value to a different class mid-run — the
+// mis-mapped-DSCP misconfiguration fault (a switch QoS policy pushed
+// with the wrong map strands a service's traffic on the wrong queue).
+func (s *State) Remap(dscp uint8, class int) {
+	if class < 0 {
+		class = 0
+	}
+	if class >= s.cfg.Classes {
+		class = s.cfg.Classes - 1
+	}
+	s.cfg.DSCPToClass[dscp&0x3f] = uint8(class)
+}
+
+// Integrate adds delta queue bytes to a port's class, clamping at the
+// class cap plus headroom and returning the bytes lost to overrun.
+// badHeadroom removes the headroom allowance entirely (the #9
+// misconfiguration: drops during heavy congestion).
+func (s *State) Integrate(p *Port, c int, delta float64, badHeadroom bool) (dropped float64) {
+	cap := s.params[c].MaxBytes + s.params[c].HeadroomBytes
+	if badHeadroom {
+		cap = s.params[c].MaxBytes
+	}
+	p.Bytes[c] += delta
+	if p.Bytes[c] > cap {
+		dropped = p.Bytes[c] - cap
+		p.Bytes[c] = cap
+		p.HeadroomDropBytes[c] += dropped
+	}
+	return dropped
+}
+
+// UpdateAssert applies the XOff/XOn pause hysteresis to every class of
+// a port after queue integration.
+func (s *State) UpdateAssert(p *Port) {
+	for c := range p.Bytes {
+		switch {
+		case !p.Asserting[c] && p.Bytes[c] >= s.params[c].XOffBytes:
+			p.Asserting[c] = true
+		case p.Asserting[c] && p.Bytes[c] < s.params[c].XOnBytes:
+			p.Asserting[c] = false
+		}
+	}
+}
+
+// DrainWait is the time a port's class queue needs to drain below XOn
+// at the given line rate — the modeled pause duration upstream ports
+// inherit while this port asserts.
+func (s *State) DrainWait(p *Port, c int, capacityGbps float64) sim.Time {
+	over := p.Bytes[c] - s.params[c].XOnBytes
+	if over <= 0 || capacityGbps <= 0 {
+		return 0
+	}
+	return sim.Time(over * 8 / (capacityGbps * 1e9) * 1e9)
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package qos
+
+import "testing"
+
+func TestProfileMapping(t *testing.T) {
+	cfg := Profile(4)
+	if !cfg.Enabled() {
+		t.Fatal("Profile(4) should enable QoS")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Standard carve: eight DSCP values per priority, clamped at the top.
+	cases := []struct {
+		dscp uint8
+		want int
+	}{{0, 0}, {7, 0}, {8, 1}, {16, 2}, {24, 3}, {63, 3}}
+	for _, c := range cases {
+		if got := cfg.ClassOf(c.dscp); got != c.want {
+			t.Errorf("ClassOf(%d) = %d, want %d", c.dscp, got, c.want)
+		}
+	}
+	if cfg.ResolvedCNPClass() != 3 {
+		t.Errorf("CNP class = %d, want top class 3", cfg.ResolvedCNPClass())
+	}
+}
+
+func TestDisabledConfigIsClassZero(t *testing.T) {
+	var cfg Config
+	if cfg.Enabled() {
+		t.Fatal("zero Config must be disabled")
+	}
+	for d := 0; d < 64; d++ {
+		if cfg.ClassOf(uint8(d)) != 0 {
+			t.Fatalf("disabled ClassOf(%d) != 0", d)
+		}
+	}
+	if cfg.ResolvedCNPClass() != 0 {
+		t.Fatal("disabled CNP class != 0")
+	}
+	if cfg1 := Profile(1); cfg1.Enabled() {
+		t.Fatal("Profile(1) must be disabled")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	if err := (Config{Classes: MaxClasses + 1}).Validate(); err == nil {
+		t.Error("Classes > MaxClasses accepted")
+	}
+	if err := (Config{Classes: 4, CNPClass: 4}).Validate(); err == nil {
+		t.Error("CNPClass == Classes accepted")
+	}
+	if err := (Config{Classes: 2, Class: make([]ClassConfig, 3)}).Validate(); err == nil {
+		t.Error("more overrides than classes accepted")
+	}
+}
+
+func TestNewStateDefaults(t *testing.T) {
+	const linkMax, ecn = 8 << 20, 1 << 20
+	s := NewState(Profile(4), 10, linkMax, ecn)
+	if got := len(s.Ports); got != 10 {
+		t.Fatalf("ports = %d, want 10", got)
+	}
+	share := float64(linkMax) / 4
+	p := s.Params(0)
+	if p.MaxBytes != share || p.XOffBytes != 0.5*share || p.XOnBytes != 0.25*share || p.HeadroomBytes != 0.25*share {
+		t.Errorf("unexpected default params: %+v", p)
+	}
+	// ECN must engage below XOff so CC reacts before PFC.
+	if p.ECNBytes >= p.XOffBytes {
+		t.Errorf("ECN %v >= XOff %v", p.ECNBytes, p.XOffBytes)
+	}
+}
+
+func TestPauseHysteresis(t *testing.T) {
+	s := NewState(Profile(2), 1, 8<<20, 1<<20)
+	p := &s.Ports[0]
+	prm := s.Params(0)
+
+	s.Integrate(p, 0, prm.XOffBytes-1, false)
+	s.UpdateAssert(p)
+	if p.Asserting[0] {
+		t.Fatal("asserted below XOff")
+	}
+	s.Integrate(p, 0, 2, false)
+	s.UpdateAssert(p)
+	if !p.Asserting[0] {
+		t.Fatal("did not assert at XOff")
+	}
+	// Draining below XOff but above XOn must keep pause asserted.
+	p.Bytes[0] = (prm.XOffBytes + prm.XOnBytes) / 2
+	s.UpdateAssert(p)
+	if !p.Asserting[0] {
+		t.Fatal("deasserted between XOn and XOff")
+	}
+	p.Bytes[0] = prm.XOnBytes - 1
+	s.UpdateAssert(p)
+	if p.Asserting[0] {
+		t.Fatal("still asserted below XOn")
+	}
+	if p.Asserting[1] {
+		t.Fatal("class 1 asserted without traffic")
+	}
+}
+
+func TestIntegrateHeadroomClamp(t *testing.T) {
+	s := NewState(Profile(2), 1, 8<<20, 1<<20)
+	p := &s.Ports[0]
+	prm := s.Params(0)
+	cap := prm.MaxBytes + prm.HeadroomBytes
+
+	if dropped := s.Integrate(p, 0, cap+100, false); dropped != 100 {
+		t.Fatalf("dropped = %v, want 100", dropped)
+	}
+	if p.Bytes[0] != cap {
+		t.Fatalf("bytes = %v, want clamp at %v", p.Bytes[0], cap)
+	}
+	// badHeadroom removes the allowance: same arrival loses headroom worth.
+	p2 := &s.Ports[0]
+	p2.Bytes[0] = 0
+	p2.HeadroomDropBytes[0] = 0
+	if dropped := s.Integrate(p2, 0, cap+100, true); dropped != prm.HeadroomBytes+100 {
+		t.Fatalf("badHeadroom dropped = %v, want %v", dropped, prm.HeadroomBytes+100)
+	}
+	if p2.HeadroomDropBytes[0] != prm.HeadroomBytes+100 {
+		t.Fatalf("drop counter = %v", p2.HeadroomDropBytes[0])
+	}
+}
+
+func TestDrainWait(t *testing.T) {
+	s := NewState(Profile(2), 1, 8<<20, 1<<20)
+	p := &s.Ports[0]
+	prm := s.Params(0)
+	if w := s.DrainWait(p, 0, 100); w != 0 {
+		t.Fatalf("empty queue drain wait = %v", w)
+	}
+	p.Bytes[0] = prm.XOnBytes + 100e9/8*1e-6 // 1µs of line rate over XOn
+	w := s.DrainWait(p, 0, 100)
+	if w < 900 || w > 1100 { // ~1000ns
+		t.Fatalf("drain wait = %vns, want ~1000ns", w)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	s := NewState(Profile(4), 1, 8<<20, 1<<20)
+	if s.ClassOf(16) != 2 {
+		t.Fatal("precondition: DSCP 16 on class 2")
+	}
+	s.Remap(16, 0)
+	if s.ClassOf(16) != 0 {
+		t.Fatal("Remap(16, 0) did not take")
+	}
+	s.Remap(16, 99) // clamped to top class
+	if s.ClassOf(16) != 3 {
+		t.Fatal("Remap clamp failed")
+	}
+}

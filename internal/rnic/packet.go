@@ -27,6 +27,11 @@ type Packet struct {
 	// WRID echoes the work request that produced the packet.
 	WRID uint64
 
+	// DSCP is the IP differentiated-services codepoint (6 bits). On a
+	// QoS-enabled fabric it selects the per-priority traffic class; the
+	// zero value rides the default class.
+	DSCP uint8
+
 	Payload []byte
 	// WireSize is the total on-wire size in bytes (headers + payload).
 	WireSize int

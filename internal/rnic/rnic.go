@@ -110,6 +110,10 @@ type SendRequest struct {
 	// selects the ECMP path. Required for all sends.
 	SrcPort uint16
 
+	// DSCP is the outer IP codepoint; a QoS-enabled fabric maps it to a
+	// traffic class. Zero rides the default class.
+	DSCP uint8
+
 	// UD-only addressing; ignored for connected QPs.
 	DstIP  netip.Addr
 	DstGID string
@@ -394,6 +398,7 @@ func (q *QP) PostSend(req SendRequest) error {
 		QPType:   q.typ,
 		Kind:     KindMessage,
 		WRID:     req.WRID,
+		DSCP:     req.DSCP,
 		Payload:  append([]byte(nil), req.Payload...),
 		WireSize: roceHeaderBytes + len(req.Payload),
 	}
@@ -506,6 +511,7 @@ func (d *Device) Deliver(p *Packet) {
 			QPType:   RC,
 			Kind:     KindTransportAck,
 			Seq:      p.Seq,
+			DSCP:     p.DSCP,
 			WireSize: roceHeaderBytes,
 		}
 		d.eng.After(500*sim.Nanosecond, func() { d.transmit(ack) })

@@ -33,6 +33,9 @@ type FlowSpec struct {
 	Tuple ecmp.FiveTuple
 	// DemandGbps is the application offered load.
 	DemandGbps float64
+	// DSCP selects the traffic class on a QoS-enabled fabric (the
+	// per-priority model in internal/qos). Zero rides the default class.
+	DSCP uint8
 }
 
 // Flow is a live fluid flow.
@@ -44,7 +47,17 @@ type Flow struct {
 	ccRate  float64 // rate allowed by congestion control
 	rate    float64 // achieved rate after capacity scaling
 	blocked bool
+
+	// QoS-mode state: resolved traffic class, the in-flight CNP feedback
+	// ring (class-dependent delivery delay), and the index of the first
+	// PFC-paused hop this tick (-1 when unheld).
+	class    int
+	marks    []flowMark
+	pauseIdx int
 }
+
+// Class returns the flow's resolved traffic class (0 when QoS is off).
+func (f *Flow) Class() int { return f.class }
 
 // Rate returns the flow's achieved rate in Gbps as of the last tick.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -63,6 +76,9 @@ func (n *Net) AddFlow(spec FlowSpec) (*Flow, error) {
 		}
 	}
 	f := &Flow{ID: n.nextID, Spec: spec, Path: path, ccRate: line}
+	if n.qos != nil {
+		f.class = n.qos.ClassOf(spec.DSCP)
+	}
 	n.nextID++
 	if n.cfg.CC != nil {
 		f.cc = n.cfg.CC.NewFlowState(line)
@@ -120,6 +136,10 @@ func lossCollapseFactor(p float64) float64 {
 
 // tick advances the fluid model by one step.
 func (n *Net) tick() {
+	if n.qos != nil {
+		n.tickQoS()
+		return
+	}
 	dt := n.cfg.Tick.Seconds()
 
 	// Phase 1: desired rate per flow = demand ∧ ccRate, with loss/blocked

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"rpingmesh/internal/ecmp"
+	"rpingmesh/internal/qos"
 	"rpingmesh/internal/rnic"
 	"rpingmesh/internal/sim"
 	"rpingmesh/internal/topo"
@@ -97,6 +98,12 @@ type Config struct {
 	// CC builds per-flow congestion control state. Nil means flows always
 	// send at their demand (no congestion control).
 	CC CongestionControl
+	// QoS enables the per-priority lossless-fabric model (internal/qos):
+	// N traffic classes per link, per-class PFC pause/resume with
+	// headroom, and CNP feedback on its own priority. The zero value
+	// (Classes <= 1) keeps the classic single-queue data plane,
+	// bit-identical to builds before QoS existed.
+	QoS qos.Config
 }
 
 // EffectivePropDelay reports the per-hop propagation delay after default
@@ -185,6 +192,14 @@ type Net struct {
 	flows     map[FlowID]*Flow
 	nextID    FlowID
 	tickArmed bool
+
+	// Per-priority state (nil when Config.QoS is disabled — the classic
+	// single-queue path must stay bit-identical).
+	qos       *qos.State
+	qosDevIdx map[topo.DeviceID]int // device -> row in devAssert/devWait
+	devAssert [][]bool              // tick scratch: device asserts pause per class
+	devWait   [][]sim.Time          // tick scratch: worst drain wait per class
+	tickCount int64
 }
 
 // New builds the data plane over a topology.
@@ -205,6 +220,9 @@ func New(eng *sim.Engine, tp *topo.Topology, cfg Config) *Net {
 	for i, l := range tp.Links {
 		n.links[i] = &linkState{link: l}
 	}
+	// QoS setup draws no randomness and must stay after the dropSalt draw
+	// so disabled-QoS runs keep their exact RNG stream.
+	n.initQoS()
 	return n
 }
 
@@ -294,9 +312,17 @@ func (n *Net) SendPacket(p *rnic.Packet) {
 	srcEng := n.engFor(p.SrcDev)
 	now := srcEng.Now()
 	delay := sim.Time(0)
+	cls := 0
+	if n.qos != nil {
+		cls = n.qos.ClassOf(p.DSCP)
+	}
 	for _, lid := range path {
 		ls := n.links[lid]
-		delay += n.cfg.PropDelay + n.queueDelay(ls)
+		if n.qos != nil {
+			delay += n.cfg.PropDelay + n.classDelay(lid, cls)
+		} else {
+			delay += n.cfg.PropDelay + n.queueDelay(ls)
+		}
 		if cause := n.dropAt(ls, p, now); cause != DropNone {
 			ls.dropCounts[cause].Add(1)
 			return
@@ -432,6 +458,15 @@ func (n *Net) SetBadHeadroom(l topo.LinkID, bad bool) { n.links[l].badHeadroom =
 // PFC storms from intra-host bottlenecks (#13/#14): the RNIC cannot drain,
 // pause frames propagate, and queues build toward that RNIC.
 func (n *Net) InjectQueue(l topo.LinkID, bytes float64) {
+	if n.qos != nil {
+		// Per-priority fabric: legacy injections land on the default class.
+		n.InjectClassQueue(l, 0, bytes)
+		return
+	}
+	n.injectQueueLegacy(l, bytes)
+}
+
+func (n *Net) injectQueueLegacy(l topo.LinkID, bytes float64) {
 	ls := n.links[l]
 	ls.queueBytes = min(ls.queueBytes+bytes, n.cfg.MaxQueueBytes)
 	n.armTick()

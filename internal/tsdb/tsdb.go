@@ -24,6 +24,7 @@ package tsdb
 import (
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"rpingmesh/internal/metrics"
@@ -302,11 +303,31 @@ func (db *DB) AppendSketch(name string, t sim.Time, v float64) {
 	db.sketchLocked(name).add(&db.cfg, t, v)
 }
 
+// PathSeriesName keys a sketch series by an interned route's forward
+// path: "path.rtt.<srcDev>><dstDev>.<fnv64a of ProbePath>". Distinct
+// ECMP paths between the same device pair land in distinct series, so
+// per-path tail latency stays queryable across route churn (the paper's
+// five-tuple path identity, collapsed to the traced link sequence).
+func PathSeriesName(rt *proto.Route) string {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, l := range rt.ProbePath {
+		v := uint64(l)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return "path.rtt." + string(rt.SrcDev) + ">" + string(rt.DstDev) + "." + strconv.FormatUint(h, 16)
+}
+
 // IngestRecords implements proto.RecordSink: the ingest spine feeds
 // delivered record batches straight into the sketch tier — one RTT
-// quantile sketch per source host ("ingest.rtt.<host>") and a count-min
-// tally of records per destination device. The batch is borrowed; no
-// reference is retained.
+// quantile sketch per source host ("ingest.rtt.<host>"), one per
+// interned route (PathSeriesName), and a count-min tally of records per
+// destination device. The per-path memo is indexed by the batch's route
+// table, so key construction and map lookups run once per route, not
+// once per record. The batch is borrowed; no reference is retained.
 func (db *DB) IngestRecords(b *proto.RecordBatch) {
 	n := b.Len()
 	if n == 0 {
@@ -315,13 +336,23 @@ func (db *DB) IngestRecords(b *proto.RecordBatch) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.ingested += uint64(n)
-	ss := db.sketchLocked("ingest.rtt." + string(b.Host))
+	host := db.sketchLocked("ingest.rtt." + string(b.Host))
+	memo := make([]*sketchSeries, b.Routes())
 	for i := 0; i < n; i++ {
-		db.counts.Add(string(b.RouteAt(i).DstDev), 1)
+		rt := b.RouteAt(i)
+		db.counts.Add(string(rt.DstDev), 1)
 		if b.Timeout(i) {
 			continue
 		}
-		ss.add(&db.cfg, b.Sent, float64(b.NetworkRTT(i)))
+		ri := b.RouteIndex(i)
+		ss := memo[ri]
+		if ss == nil {
+			ss = db.sketchLocked(PathSeriesName(rt))
+			memo[ri] = ss
+		}
+		v := float64(b.NetworkRTT(i))
+		host.add(&db.cfg, b.Sent, v)
+		ss.add(&db.cfg, b.Sent, v)
 	}
 }
 

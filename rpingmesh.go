@@ -31,6 +31,7 @@ import (
 	"rpingmesh/internal/faultgen"
 	"rpingmesh/internal/fed"
 	"rpingmesh/internal/pipeline"
+	"rpingmesh/internal/qos"
 	"rpingmesh/internal/service"
 	"rpingmesh/internal/sim"
 	"rpingmesh/internal/topo"
@@ -239,6 +240,24 @@ func BuildRailOptimized(cfg RailConfig) (*Topology, error) { return topo.BuildRa
 
 // NewInjector builds a fault injector over a cluster.
 func NewInjector(c *Cluster, seed int64) *Injector { return faultgen.NewInjector(c, seed) }
+
+// QoSConfig is the lossless-fabric per-priority policy (DESIGN.md §12):
+// N traffic classes per link with PFC pause/resume thresholds and
+// headroom, a DSCP→class map, and a dedicated CNP priority. Set it as
+// Config.Net.QoS; the zero value keeps the classic single-queue plane.
+type QoSConfig = qos.Config
+
+// QoSProfile returns the conventional n-class deployment policy: DSCP d
+// rides class d>>3, CNPs on the top class.
+func QoSProfile(n int) QoSConfig { return qos.Profile(n) }
+
+// Switch-localizer selectors for Config.Localizer / AnalyzerConfig
+// .Localizer: the paper's Algorithm 1 whole-vote tomography (default)
+// or 007-style democratic per-flow voting (DESIGN.md §12).
+const (
+	LocalizerAlg1 = analyzer.LocalizerAlg1
+	Localizer007  = analyzer.Localizer007
+)
 
 // Chaos/soak harness: the monitoring stack itself as the system under
 // test. A ChaosScenario shakes a deterministic deployment (agent
