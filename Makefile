@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build vet test race bench ci serve-smoke fed-smoke \
-	soak soak-selftest bench-json bench-baseline bench-check determinism lint
+	soak soak-selftest bench-json bench-baseline bench-check determinism \
+	scaling lint
 
 all: build
 
@@ -20,7 +21,8 @@ test:
 # else runs once.
 race:
 	$(GO) test -race -count=2 ./internal/proto ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
-	$(GO) test -race -count=2 ./internal/fed ./internal/qos ./internal/localizer
+	$(GO) test -race -count=2 ./internal/fed ./internal/qos ./internal/localizer ./internal/sim
+	$(GO) test -race -count=2 -run 'TestShardedScenario' ./internal/chaos
 	$(GO) test -race -timeout 30m ./...
 
 # Boot the live daemon with the ops console and smoke-test it over real
@@ -102,6 +104,27 @@ bench-baseline:
 bench-check: bench-json
 	./bin/benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json -max-regress 0.25
 
+# --- multicore scaling ---------------------------------------------------
+
+# Sweep BenchmarkEngineSharded across GOMAXPROCS 1/2/4 and render the
+# speedup curve into SCALING.md. The shards=4 run at GOMAXPROCS=4 must
+# beat the serial engine by SCALING_MIN_SPEEDUP (CI passes 1.5); the
+# gate self-skips — loudly — on runners with fewer than 4 CPUs, so the
+# table still renders on 1-core dev boxes. GOMAXPROCS is exported to
+# benchdiff -parse as well: the stamp's gomaxprocs is the table's
+# column key.
+SCALING_MIN_SPEEDUP ?= 1.0
+
+scaling:
+	$(GO) build -o bin/benchdiff ./cmd/benchdiff
+	@set -e; for gm in 1 2 4; do \
+	  echo "scaling: GOMAXPROCS=$$gm"; \
+	  GOMAXPROCS=$$gm $(GO) test -run '^$$' -bench '^BenchmarkEngineSharded$$' -benchtime 0.5s -count 3 . \
+	    | GOMAXPROCS=$$gm ./bin/benchdiff -parse > BENCH_scaling_gm$$gm.json; \
+	done
+	./bin/benchdiff -scaling -min-speedup $(SCALING_MIN_SPEEDUP) -out SCALING.md \
+		BENCH_scaling_gm1.json BENCH_scaling_gm2.json BENCH_scaling_gm4.json
+
 # --- determinism gate --------------------------------------------------
 
 # Golden/deterministic tests must produce identical results run-to-run
@@ -120,6 +143,8 @@ determinism:
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestRecordsEncodeDeterministic|TestSketchDeterministic' ./internal/proto ./internal/tsdb
 	GOMAXPROCS=1 $(GO) test -count=2 -run 'TestQoSPauseStormClassSelective|TestQoSDisabledMatchesLegacy|TestShardedTallyMatchesSerial|TestQoSFaultDeterminism' ./internal/simnet ./internal/localizer ./internal/chaos
 	GOMAXPROCS=8 $(GO) test -count=2 -run 'TestQoSPauseStormClassSelective|TestQoSDisabledMatchesLegacy|TestShardedTallyMatchesSerial|TestQoSFaultDeterminism' ./internal/simnet ./internal/localizer ./internal/chaos
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'TestElisionEquivalence|TestPairLookaheadExtendsSoloHorizon' ./internal/sim
+	GOMAXPROCS=8 $(GO) test -count=1 -run 'TestElisionEquivalence|TestPairLookaheadExtendsSoloHorizon' ./internal/sim
 
 # --- static analysis ---------------------------------------------------
 

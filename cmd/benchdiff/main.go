@@ -15,6 +15,20 @@
 //	    more than the baseline allows (a 0-alloc baseline admits no
 //	    allocations at all — the zero-allocation ingest path is pinned
 //	    exactly).
+//
+//	benchdiff -scaling -out SCALING.md -min-speedup 1.0 gm1.json gm2.json gm4.json
+//	    Render the multicore scaling curve of the sharded engine from
+//	    per-GOMAXPROCS snapshots (each produced by -parse under a
+//	    different GOMAXPROCS) as a markdown speedup table, and gate the
+//	    4-shard configuration at the widest GOMAXPROCS against the
+//	    serial reference. The gate is skipped — loudly — when the
+//	    capturing runner has fewer CPUs than the sweep's widest
+//	    GOMAXPROCS, so 1-core dev boxes still produce the table.
+//
+// Every -parse snapshot is stamped with the capturing runner's CPU
+// count; compare refuses to gate two stamped snapshots from different
+// core counts, because ns/op across core counts is not a regression
+// signal.
 package main
 
 import (
@@ -25,6 +39,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,6 +53,50 @@ type Snapshot struct {
 	// AllocsPerOp maps benchmark name to the best observed allocs/op —
 	// present only for benchmarks run with -benchmem.
 	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	// Runner records the machine the snapshot was captured on. Absent in
+	// snapshots written before stamping existed (the legacy migration
+	// path: such baselines compare with a warning instead of engaging
+	// the core-count refusal).
+	Runner *RunnerInfo `json:"runner,omitempty"`
+}
+
+// RunnerInfo is the capturing machine's identity, stamped at -parse
+// time. NumCPU is the comparability key: ns/op from a 1-core container
+// and a 4-core CI runner are different experiments. GOMAXPROCS is what
+// the -scaling mode sweeps.
+type RunnerInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+func currentRunner() *RunnerInfo {
+	return &RunnerInfo{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
+// runnerGate decides whether two snapshots may be compared. Both
+// stamped with differing CPU counts is a hard refusal; an unstamped
+// side compares with a warning so pre-stamp baselines keep gating
+// until they are re-captured.
+func runnerGate(base, cand *Snapshot) (warning string, err error) {
+	switch {
+	case base.Runner == nil:
+		return "benchdiff: baseline carries no runner stamp; comparing anyway (re-capture with make bench-baseline to engage the core-count guard)", nil
+	case cand.Runner == nil:
+		return "benchdiff: candidate carries no runner stamp; comparing anyway", nil
+	case base.Runner.NumCPU != cand.Runner.NumCPU:
+		return "", fmt.Errorf(
+			"benchdiff: refusing to compare: baseline captured on %d CPUs (%s/%s), candidate on %d CPUs (%s/%s) — ns/op across core counts is not a regression signal; re-capture the baseline on this machine class",
+			base.Runner.NumCPU, base.Runner.GOOS, base.Runner.GOARCH,
+			cand.Runner.NumCPU, cand.Runner.GOOS, cand.Runner.GOARCH)
+	}
+	return "", nil
 }
 
 // benchLine matches `BenchmarkName-8  	 100	 12345 ns/op	 64 B/op	 2 allocs/op`
@@ -152,12 +211,134 @@ func compare(base, cand *Snapshot, maxRegress float64, w io.Writer) []string {
 	return bad
 }
 
+// scalingPoint is one per-GOMAXPROCS snapshot of the sharded-engine
+// sweep.
+type scalingPoint struct {
+	gm   int
+	snap *Snapshot
+}
+
+// loadScaling reads the sweep's snapshot files. Every file must carry a
+// runner stamp — the stamp's GOMAXPROCS is the column key.
+func loadScaling(paths []string) ([]scalingPoint, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("benchdiff: -scaling needs per-GOMAXPROCS snapshot files as arguments")
+	}
+	pts := make([]scalingPoint, 0, len(paths))
+	for _, p := range paths {
+		snap, err := load(p)
+		if err != nil {
+			return nil, err
+		}
+		if snap.Runner == nil {
+			return nil, fmt.Errorf("benchdiff: %s carries no runner stamp; -scaling needs snapshots from a current benchdiff -parse", p)
+		}
+		pts = append(pts, scalingPoint{gm: snap.Runner.GOMAXPROCS, snap: snap})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].gm < pts[j].gm })
+	return pts, nil
+}
+
+// scalingReport renders the speedup table and gates gateVariant at the
+// widest GOMAXPROCS against the serial reference (serialVariant at
+// GOMAXPROCS=1). Speedup = serial-reference ns / cell ns. The gate is
+// skipped with a loud notice when the capturing runner has fewer CPUs
+// than the sweep's widest GOMAXPROCS — the curve cannot rise where the
+// cores do not exist.
+func scalingReport(pts []scalingPoint, bench, serialVariant, gateVariant string, minSpeedup float64) (string, []string, error) {
+	serialName := bench + "/" + serialVariant
+	if pts[0].gm != 1 {
+		return "", nil, fmt.Errorf("benchdiff: -scaling needs a GOMAXPROCS=1 snapshot for the serial reference (narrowest provided: %d)", pts[0].gm)
+	}
+	serial, ok := pts[0].snap.NsPerOp[serialName]
+	if !ok {
+		return "", nil, fmt.Errorf("benchdiff: serial reference %s missing from the GOMAXPROCS=1 snapshot", serialName)
+	}
+
+	// Rows: every variant of the bench seen in any snapshot, sorted.
+	prefix := bench + "/"
+	rowSet := map[string]bool{}
+	for _, pt := range pts {
+		for name := range pt.snap.NsPerOp {
+			if strings.HasPrefix(name, prefix) {
+				rowSet[name] = true
+			}
+		}
+	}
+	if len(rowSet) == 0 {
+		return "", nil, fmt.Errorf("benchdiff: no %s* results in any snapshot", prefix)
+	}
+	rows := make([]string, 0, len(rowSet))
+	for name := range rowSet {
+		rows = append(rows, name)
+	}
+	sort.Strings(rows)
+
+	last := pts[len(pts)-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Sharded engine scaling\n\n")
+	fmt.Fprintf(&b, "Captured on %s/%s, %d CPUs. Serial reference: `%s` at GOMAXPROCS=1 (%.1f ms); each cell shows ns/op as ms and its speedup over that reference.\n\n",
+		last.snap.Runner.GOOS, last.snap.Runner.GOARCH, last.snap.Runner.NumCPU, serialName, serial/1e6)
+	fmt.Fprintf(&b, "| benchmark |")
+	for _, pt := range pts {
+		fmt.Fprintf(&b, " GOMAXPROCS=%d |", pt.gm)
+	}
+	fmt.Fprintf(&b, "\n|---|")
+	for range pts {
+		fmt.Fprintf(&b, "---|")
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "| %s |", row)
+		for _, pt := range pts {
+			ns, ok := pt.snap.NsPerOp[row]
+			if !ok {
+				fmt.Fprintf(&b, " — |")
+				continue
+			}
+			fmt.Fprintf(&b, " %.1f ms (%.2fx) |", ns/1e6, serial/ns)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	var bad []string
+	gateName := bench + "/" + gateVariant
+	switch {
+	case last.snap.Runner.NumCPU < last.gm:
+		fmt.Fprintf(&b, "\n**Gate SKIPPED**: runner has %d CPUs < GOMAXPROCS=%d — parallel speedup is not measurable here; the CI scaling job enforces it on a multicore runner.\n",
+			last.snap.Runner.NumCPU, last.gm)
+	default:
+		ns, ok := last.snap.NsPerOp[gateName]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from the GOMAXPROCS=%d snapshot", gateName, last.gm))
+			break
+		}
+		speedup := serial / ns
+		verdict := "PASS"
+		if speedup < minSpeedup {
+			verdict = "FAIL"
+			bad = append(bad, fmt.Sprintf("%s @ GOMAXPROCS=%d: speedup %.2fx < %.2fx required",
+				gateName, last.gm, speedup, minSpeedup))
+		}
+		fmt.Fprintf(&b, "\nGate: %s @ GOMAXPROCS=%d speedup %.2fx (>= %.2fx required) — **%s**\n",
+			gateName, last.gm, speedup, minSpeedup, verdict)
+	}
+	return b.String(), bad, nil
+}
+
 func main() {
 	var (
 		parseMode  = flag.Bool("parse", false, "parse go-test bench text from stdin to JSON on stdout")
 		baseline   = flag.String("baseline", "", "baseline snapshot JSON")
 		candidate  = flag.String("candidate", "", "candidate snapshot JSON")
 		maxRegress = flag.Float64("max-regress", 0.25, "max allowed fractional ns/op regression")
+
+		scaling    = flag.Bool("scaling", false, "render a multicore speedup table from per-GOMAXPROCS snapshot args")
+		out        = flag.String("out", "", "with -scaling: also write the markdown table to this file")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "with -scaling: minimum required speedup of the gated variant")
+		bench      = flag.String("scaling-bench", "BenchmarkEngineSharded", "with -scaling: benchmark family to tabulate")
+		serialVar  = flag.String("serial-variant", "shards=1", "with -scaling: sub-benchmark used as the serial reference")
+		gateVar    = flag.String("gate-variant", "shards=4", "with -scaling: sub-benchmark the speedup gate applies to")
 	)
 	flag.Parse()
 
@@ -167,6 +348,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		snap.Runner = currentRunner()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(snap); err != nil {
@@ -176,8 +358,33 @@ func main() {
 		return
 	}
 
+	if *scaling {
+		pts, err := loadScaling(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		md, bad, err := scalingReport(pts, *bench, *serialVar, *gateVar, *minSpeedup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		fmt.Print(md)
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchdiff: scaling gate failed:\n  %s\n", strings.Join(bad, "\n  "))
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: need -parse, or -baseline and -candidate")
+		fmt.Fprintln(os.Stderr, "benchdiff: need -parse, -scaling, or -baseline and -candidate")
 		os.Exit(2)
 	}
 	base, err := load(*baseline)
@@ -189,6 +396,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	warn, err := runnerGate(base, cand)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, warn)
 	}
 	if bad := compare(base, cand, *maxRegress, os.Stdout); len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s):\n  %s\n", len(bad), strings.Join(bad, "\n  "))

@@ -113,6 +113,111 @@ func TestCompareZeroAllocBaselineIsExact(t *testing.T) {
 	}
 }
 
+// TestRunnerGate: stamped snapshots from different core counts refuse
+// to compare; an unstamped side (legacy baseline) compares with a
+// warning; matching stamps pass silently.
+func TestRunnerGate(t *testing.T) {
+	stamped := func(cpus int) *Snapshot {
+		return &Snapshot{
+			NsPerOp: map[string]float64{"BenchmarkIncidentFold": 1},
+			Runner:  &RunnerInfo{NumCPU: cpus, GOMAXPROCS: cpus, GOOS: "linux", GOARCH: "amd64"},
+		}
+	}
+	bare := &Snapshot{NsPerOp: map[string]float64{"BenchmarkIncidentFold": 1}}
+
+	if _, err := runnerGate(stamped(1), stamped(4)); err == nil {
+		t.Fatal("differing core counts not refused")
+	}
+	warn, err := runnerGate(bare, stamped(4))
+	if err != nil || !strings.Contains(warn, "no runner stamp") {
+		t.Fatalf("unstamped baseline: warn=%q err=%v, want warning and nil error", warn, err)
+	}
+	warn, err = runnerGate(stamped(4), bare)
+	if err != nil || warn == "" {
+		t.Fatalf("unstamped candidate: warn=%q err=%v, want warning and nil error", warn, err)
+	}
+	warn, err = runnerGate(stamped(4), stamped(4))
+	if err != nil || warn != "" {
+		t.Fatalf("matching stamps: warn=%q err=%v, want clean pass", warn, err)
+	}
+}
+
+func scalingFixture(cpus int, serialNs, ns4gm4 float64) []scalingPoint {
+	mk := func(gm int, n1, n2, n4 float64) scalingPoint {
+		return scalingPoint{gm: gm, snap: &Snapshot{
+			NsPerOp: map[string]float64{
+				"BenchmarkEngineSharded/shards=1": n1,
+				"BenchmarkEngineSharded/shards=2": n2,
+				"BenchmarkEngineSharded/shards=4": n4,
+			},
+			Runner: &RunnerInfo{NumCPU: cpus, GOMAXPROCS: gm, GOOS: "linux", GOARCH: "amd64"},
+		}}
+	}
+	return []scalingPoint{
+		mk(1, serialNs, serialNs*1.1, serialNs*1.2),
+		mk(2, serialNs, serialNs*0.6, serialNs*0.7),
+		mk(4, serialNs, serialNs*0.55, ns4gm4),
+	}
+}
+
+// TestScalingReportGate: a 2x speedup at shards=4/GOMAXPROCS=4 passes
+// the 1.5x gate and the table carries every cell; a sub-threshold
+// speedup fails it.
+func TestScalingReportGate(t *testing.T) {
+	pts := scalingFixture(4, 40e6, 20e6) // 2.00x
+	md, bad, err := scalingReport(pts, "BenchmarkEngineSharded", "shards=1", "shards=4", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("2x speedup failed the 1.5x gate: %v", bad)
+	}
+	for _, frag := range []string{"GOMAXPROCS=1", "GOMAXPROCS=4", "shards=2", "2.00x", "PASS", "4 CPUs"} {
+		if !strings.Contains(md, frag) {
+			t.Fatalf("table missing %q:\n%s", frag, md)
+		}
+	}
+
+	slow := scalingFixture(4, 40e6, 35e6) // 1.14x
+	_, bad, err = scalingReport(slow, "BenchmarkEngineSharded", "shards=1", "shards=4", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "1.14x < 1.50x") {
+		t.Fatalf("sub-threshold speedup not flagged: %v", bad)
+	}
+}
+
+// TestScalingReportSkipsGateOnSmallRunner: a 1-CPU runner cannot show
+// parallel speedup — the gate is skipped loudly instead of failing.
+func TestScalingReportSkipsGateOnSmallRunner(t *testing.T) {
+	pts := scalingFixture(1, 40e6, 48e6) // 0.83x — would fail any gate
+	md, bad, err := scalingReport(pts, "BenchmarkEngineSharded", "shards=1", "shards=4", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("gate fired on a 1-CPU runner: %v", bad)
+	}
+	if !strings.Contains(md, "Gate SKIPPED") {
+		t.Fatalf("skip notice missing:\n%s", md)
+	}
+}
+
+// TestScalingReportNeedsSerialReference: no GOMAXPROCS=1 snapshot, or a
+// GOMAXPROCS=1 snapshot without the serial variant, is a hard error.
+func TestScalingReportNeedsSerialReference(t *testing.T) {
+	pts := scalingFixture(4, 40e6, 20e6)[1:]
+	if _, _, err := scalingReport(pts, "BenchmarkEngineSharded", "shards=1", "shards=4", 1.0); err == nil {
+		t.Fatal("missing GOMAXPROCS=1 snapshot accepted")
+	}
+	pts = scalingFixture(4, 40e6, 20e6)
+	delete(pts[0].snap.NsPerOp, "BenchmarkEngineSharded/shards=1")
+	if _, _, err := scalingReport(pts, "BenchmarkEngineSharded", "shards=1", "shards=4", 1.0); err == nil {
+		t.Fatal("missing serial variant accepted")
+	}
+}
+
 func TestCompareAllocWithinBudgetAndMissing(t *testing.T) {
 	base := &Snapshot{
 		NsPerOp:     map[string]float64{"BenchmarkAnalyzerWindow": 1000},

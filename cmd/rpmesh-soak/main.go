@@ -38,7 +38,8 @@ func main() {
 		polFlag    = flag.String("policy", "", "pipeline overload policy for every scenario (block,drop-oldest,drop-newest); default rotates")
 		wire       = flag.Bool("wire", false, "force the loopback-TCP control plane on every scenario (default alternates)")
 		netFaults  = flag.Bool("net-faults", false, "force faultgen network faults on every scenario (default every third)")
-		shards     = flag.Int("shards", 0, "force the pod-sharded parallel engine with N shards on every scenario (default alternates serial and 2-shard)")
+		shards     = flag.Int("shards", 0, "force the pod-sharded parallel engine with N shards on every scenario (default alternates serial, 2-shard and 4-shard)")
+		shardEpoch = flag.Int("shard-epoch", 0, "force the sharded engine's adaptive-epoch cap on every scenario (1 = classic lockstep, elision off; default alternates adaptive and lockstep)")
 		fedNodes   = flag.Int("fed-nodes", 0, "force a federated deployment with N nodes on every scenario (default: every fifth scenario runs 3-node)")
 		qosClasses = flag.Int("qos-classes", 0, "force an N-class QoS fabric on every scenario (default: every fourth scenario runs 4-class)")
 		qosFault   = flag.String("qos-fault", "", "force one QoS fault family on every QoS scenario ("+shortQoSFaults()+"; default rotates)")
@@ -126,9 +127,17 @@ func main() {
 			NetworkFaults: i%3 == 2,
 		}
 		// Odd scenarios run the pod-sharded parallel engine so the soak
-		// continuously exercises cross-shard scheduling under chaos.
+		// continuously exercises cross-shard scheduling under chaos,
+		// alternating 2- and 4-shard fabrics and alternating the adaptive
+		// epoch/elision machinery against classic lockstep — both
+		// coordination schedules must produce identical physics.
 		if i%2 == 1 {
-			sc.Shards = 2
+			sc.Shards = 2 + 2*((i/2)%2)
+			// Period 3 against the shard count's period 2, so every
+			// (shards, epoch) combination appears in a long run.
+			if (i/2)%3 == 1 {
+				sc.ShardEpoch = 1
+			}
 		}
 		// Every fifth scenario runs the federated control plane, so a
 		// default run always includes node partitions, coordinator kills
@@ -159,6 +168,9 @@ func main() {
 		}
 		if pinned["shards"] {
 			sc.Shards = *shards
+		}
+		if pinned["shard-epoch"] {
+			sc.ShardEpoch = *shardEpoch
 		}
 		if pinned["fed-nodes"] {
 			sc.FedNodes = *fedNodes
@@ -193,8 +205,12 @@ func main() {
 				qosNote += "/" + sc.Localizer
 			}
 		}
-		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d fed=%d%s events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
-			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards, sc.FedNodes, qosNote,
+		epochNote := ""
+		if sc.Shards > 1 && sc.ShardEpoch > 0 {
+			epochNote = fmt.Sprintf("/epoch=%d", sc.ShardEpoch)
+		}
+		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d%s fed=%d%s events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
+			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards, epochNote, sc.FedNodes, qosNote,
 			len(res.Events), res.Windows,
 			res.Pipeline.Dropped(), res.Pipeline.ResultsShed, res.Pipeline.BlockWaits, status)
 		if len(res.LeaderHistory) > 0 && *verbose {

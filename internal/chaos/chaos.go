@@ -203,6 +203,12 @@ type Scenario struct {
 	// pure function of the scenario; sharding is exercised for races and
 	// determinism, not different behavior.
 	Shards int
+	// ShardEpoch caps the sharded engine's adaptive lookahead widening
+	// (core.Config.ShardEpoch): 0 default, 1 classic lockstep with
+	// barrier elision off. Rotated by the soak harness so both the
+	// widened and lockstep coordination paths run under chaos, which must
+	// never change a fingerprint.
+	ShardEpoch int
 	// FedNodes > 1 runs the scenario against a federated deployment
 	// (fed.Deploy): FedNodes peer nodes with quorum incident
 	// confirmation, chaos drawn from the federation kinds
@@ -270,6 +276,9 @@ func (sc Scenario) ReproArgs() string {
 	}
 	if sc.Shards > 1 {
 		args += fmt.Sprintf(" -shards %d", sc.Shards)
+	}
+	if sc.ShardEpoch > 0 {
+		args += fmt.Sprintf(" -shard-epoch %d", sc.ShardEpoch)
 	}
 	if sc.FedNodes > 1 {
 		args += fmt.Sprintf(" -fed-nodes %d", sc.FedNodes)

@@ -86,6 +86,29 @@ func TestShardedScenario(t *testing.T) {
 	}
 }
 
+// TestShardedScenarioFourShards: the soak path at -shards=4 — wider
+// adaptive lookahead epochs over more concurrent pods — stays green,
+// replays bit-identically, and produces the exact same fingerprint with
+// adaptive widening/elision enabled (default) and disabled (ShardEpoch=1,
+// classic lockstep): the coordination schedule must never leak into
+// results. Name intentionally extends TestShardedScenario so the
+// determinism gate's -run regex covers it at GOMAXPROCS 1 and 8.
+func TestShardedScenarioFourShards(t *testing.T) {
+	sc := Scenario{Seed: 9, Windows: 6, Shards: 4}
+	a := mustRun(t, sc)
+	assertGreen(t, a)
+	b := mustRun(t, sc)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("4-shard fingerprints diverge:\n  a: %s\n  b: %s", a.Fingerprint, b.Fingerprint)
+	}
+	lock := sc
+	lock.ShardEpoch = 1
+	c := mustRun(t, lock)
+	if a.Fingerprint != c.Fingerprint {
+		t.Fatalf("adaptive vs lockstep fingerprints diverge:\n  adaptive: %s\n  lockstep: %s", a.Fingerprint, c.Fingerprint)
+	}
+}
+
 // TestWireScenario: chaos over the real loopback-TCP control plane,
 // including WireSever, stays green — clients redial severed sessions
 // transparently.

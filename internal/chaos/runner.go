@@ -97,11 +97,12 @@ func build(sc *Scenario) (*harness, error) {
 	}
 
 	ccfg := core.Config{
-		Topology:  tp,
-		Seed:      sc.Seed,
-		Shards:    sc.Shards,
-		Localizer: sc.Localizer,
-		Pipeline:  pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
+		Topology:   tp,
+		Seed:       sc.Seed,
+		Shards:     sc.Shards,
+		ShardEpoch: sc.ShardEpoch,
+		Localizer:  sc.Localizer,
+		Pipeline:   pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
 	}
 	if sc.QoSClasses > 1 {
 		ccfg.Net.QoS = qos.Profile(sc.QoSClasses)

@@ -38,6 +38,15 @@ type Config struct {
 	// sharding buys wall-clock speed, never different physics.
 	Shards int
 
+	// ShardEpoch caps the sharded engine's adaptive lookahead widening
+	// (DESIGN.md §13): the maximum number of base lookahead windows one
+	// barrier-to-barrier epoch may span. 0 selects the engine default
+	// (sim.DefaultMaxEpoch); 1 disables widening and barrier elision's
+	// extended horizons degrade to the classic per-window lockstep.
+	// Results are bit-identical for every value — only coordination
+	// frequency changes.
+	ShardEpoch int
+
 	Net        simnet.Config
 	Agent      agent.Config
 	Controller controller.Config
@@ -216,6 +225,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("core: sharded engine computed non-positive lookahead")
 			}
 			sharded = sim.NewSharded(cfg.Seed, sh.Shards, lookahead)
+			sharded.MaxEpoch = cfg.ShardEpoch
+			// Per-pair horizons let barrier elision run a solo shard past
+			// the uniform window: shard pairs that are farther apart than
+			// the global minimum admit proportionally wider bounds, and
+			// disconnected pairs none at all.
+			if sh.PairMinLinks != nil {
+				pair := make([][]sim.Time, sh.Shards)
+				for a := range pair {
+					pair[a] = make([]sim.Time, sh.Shards)
+					for b := range pair[a] {
+						pair[a][b] = sim.Time(sh.PairMinLinks[a][b]) * cfg.Net.EffectivePropDelay()
+					}
+				}
+				sharded.SetPairLookahead(pair)
+			}
 			sharding = sh
 		}
 	}

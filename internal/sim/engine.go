@@ -122,13 +122,22 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
-// crossEvent is an event generated inside a parallel shard window whose
+// bufEvent is an event generated inside a parallel shard window whose
 // destination heap belongs to another shard. It is buffered in the source
-// engine's outbox and applied at the next barrier (see sharded.go).
-type crossEvent struct {
+// engine's per-destination outbox bucket and applied at the next barrier
+// (see sharded.go).
+type bufEvent struct {
+	at Time
+	fn func()
+}
+
+// outBucket batches a source engine's buffered sends to one destination
+// engine. Buckets are created in first-send order and reused (evs is
+// truncated, not freed, at each flush), so steady-state cross-shard
+// traffic schedules without per-event or per-window allocations.
+type outBucket struct {
 	dst *Engine
-	at  Time
-	fn  func()
+	evs []bufEvent
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
@@ -151,11 +160,16 @@ type Engine struct {
 	// SubRand derives streams from; for sharded groups every member shares
 	// one root so module streams are identical regardless of shard count.
 	// inWindow marks pod engines whose cross-shard sends must be buffered
-	// in outbox until the barrier rather than pushed directly.
-	root     *rand.Rand
-	shard    int
-	inWindow bool
-	outbox   []crossEvent
+	// in outboxes until the barrier rather than pushed directly. crossSent
+	// counts pod→pod sends buffered since the coordinator last reset it —
+	// the signal the adaptive-epoch machinery keys on (sharded.go). It is
+	// only ever touched by the goroutine running this engine's events or by
+	// the coordinator between windows, so it needs no atomics.
+	root      *rand.Rand
+	shard     int
+	inWindow  bool
+	outboxes  []outBucket
+	crossSent int
 }
 
 // New returns an engine whose random stream is derived from seed.
@@ -254,15 +268,40 @@ func (e *Engine) After(d Time, fn func()) Handle { return e.At(e.now+d, fn) }
 // ScheduleOn schedules fn at absolute time at on the engine owning dst.
 // On a standalone engine (or when dst is the engine itself, or outside a
 // parallel window) this is dst.At. Inside a parallel shard window the event
-// is buffered in the source shard's outbox and applied at the barrier, in
-// deterministic (time, source shard, send order) order. Cross-shard sends
-// return the zero Handle: they cannot be cancelled.
+// is buffered in the source shard's per-destination outbox bucket and
+// applied at the barrier; the flush walks sources in shard order and each
+// source's buckets in first-send order, and within a bucket events keep
+// send order, so every destination heap sees the exact per-destination
+// push sequence the unbatched outbox produced. Cross-shard sends return
+// the zero Handle: they cannot be cancelled.
 func (e *Engine) ScheduleOn(dst *Engine, at Time, fn func()) Handle {
 	if dst == e || !e.inWindow {
 		return dst.At(at, fn)
 	}
-	e.outbox = append(e.outbox, crossEvent{dst: dst, at: at, fn: fn})
+	b := e.bucketFor(dst)
+	b.evs = append(b.evs, bufEvent{at: at, fn: fn})
+	if dst.shard >= 0 {
+		// Pod→pod traffic: the only kind that can constrain another pod's
+		// progress. Sends to the fabric shard don't count — the fabric is
+		// frozen for the duration of every pod window (W <= fabric next),
+		// so uploads can never violate causality or invalidate a widened
+		// epoch (see the ownership contract in sharded.go).
+		e.crossSent++
+	}
 	return Handle{}
+}
+
+// bucketFor returns the outbox bucket for dst, creating it on first use.
+// Linear scan: a pod talks to a handful of peer engines (the other pods
+// and the fabric), so this beats a map on both time and allocation.
+func (e *Engine) bucketFor(dst *Engine) *outBucket {
+	for i := range e.outboxes {
+		if e.outboxes[i].dst == dst {
+			return &e.outboxes[i]
+		}
+	}
+	e.outboxes = append(e.outboxes, outBucket{dst: dst})
+	return &e.outboxes[len(e.outboxes)-1]
 }
 
 // Every schedules fn to run every period, starting at now+offset, until the

@@ -1,6 +1,7 @@
 // Conservative parallel execution: one Engine per topology pod plus a
-// fabric shard, advanced in lockstep windows bounded by the minimum
-// cross-shard propagation delay (the classic YAWNS barrier scheme).
+// fabric shard, advanced in conservative windows bounded by cross-shard
+// propagation delay (the classic YAWNS barrier scheme, extended with
+// adaptive epochs and conditional barrier elision — DESIGN.md §13).
 //
 // The scheduling rule is fabric-first:
 //
@@ -10,25 +11,67 @@
 //     any shard's state directly, which is where all shared-state work
 //     (controller, analyzer, ingest, fluid network model, fault and chaos
 //     injection) is placed by internal/core.
-//   - Otherwise the pod shards run every event in [podMin, W) in parallel,
-//     where W = min(podMin + lookahead, fabricMin, deadline+1). Fabric
-//     state is frozen during such a window, so pod events may read it
-//     freely; anything a pod event must *write* outside its shard travels
-//     through ScheduleOn and is applied at the barrier.
+//   - Otherwise the pod shards run an *epoch*: up to epochLen consecutive
+//     sub-windows of the base lookahead width, bounded by
+//     W = min(podMin + epochLen*lookahead, fabricMin, deadline+1). Workers
+//     cross sub-window boundaries through a lightweight OR-combining
+//     barrier with no coordinator round-trip and no flush; the moment any
+//     pod buffers a pod→pod cross-shard event, every pod uniformly stops
+//     at the next boundary and the epoch ends early. Fabric state is
+//     frozen during an epoch, so pod events may read it freely; anything a
+//     pod event must *write* outside its shard travels through ScheduleOn
+//     and is applied at the epoch-end flush.
+//   - When exactly one pod has events below W (barrier elision), it runs
+//     alone — no workers, no rendezvous — and its horizon extends past W
+//     to min over peers j of (nextAt(j) + pairLookahead[j][me]): the
+//     per-pair conservative bound from the topology partition's cross-edge
+//     distance matrix. The same sub-window abort rule still applies to its
+//     own outbound sends, which keeps reaction chains causal.
 //
-// Determinism argument (DESIGN.md §9): each shard's heap executes
-// single-threaded in (time, seq) order; windows only decide *when* a shard
-// runs, never the order within it; barrier flushes apply cross-shard events
-// in (source shard, send order) order, and the lookahead bound guarantees a
-// flushed event can never land inside a window that already ran. Hence the
-// result is a pure function of the seed — independent of GOMAXPROCS and of
-// how the window boundaries happen to fall.
+// epochLen adapts: it resets to 1 whenever an epoch carries any pod→pod
+// event and doubles (capped at MaxEpoch) after AdaptAfter consecutive calm
+// epochs, so idle-fabric phases pay almost no barrier cost while chatty
+// phases degrade gracefully to classic lockstep. MaxEpoch=1 disables
+// widening entirely and reproduces the original per-window scheme.
+//
+// Determinism argument (DESIGN.md §9 and §13): each shard's heap executes
+// single-threaded in (time, seq) order; epochs and elision only decide
+// *when* a shard runs, never the order within it; flushes apply
+// cross-shard events in (source shard, per-destination send order) order,
+// and every executed region is bounded by the conservative lookahead
+// proofs above, so a flushed event can never land inside a region that
+// already ran. The epoch-abort decision is OR-combined *at* the barrier
+// from each worker's own send counter, so all workers stop at the same
+// boundary — a pure function of simulation state, independent of
+// GOMAXPROCS, worker scheduling, and Serial mode.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Default adaptive-epoch tuning. DefaultMaxEpoch caps how many base
+// lookahead windows a calm epoch may span; DefaultAdaptAfter is how many
+// consecutive calm epochs earn a doubling.
+const (
+	DefaultMaxEpoch   = 16
+	DefaultAdaptAfter = 2
+)
+
+// ShardStats counts the coordination work a ShardedEngine has done —
+// the observable currency of the adaptive-lookahead and elision
+// machinery, used by tests and the scaling experiment.
+type ShardStats struct {
+	Epochs      uint64 // multi-shard epochs executed (parallel or inline)
+	SoloRuns    uint64 // single-shard elided runs (no rendezvous)
+	SubBarriers uint64 // sub-window boundaries crossed inside epochs
+	Flushes     uint64 // epoch-end outbox flushes
+	CrossEvents uint64 // pod→pod events carried across shards
+	FabricSteps uint64 // exclusive fabric-shard events
+}
 
 // ShardedEngine coordinates one fabric Engine and N pod Engines.
 type ShardedEngine struct {
@@ -36,11 +79,36 @@ type ShardedEngine struct {
 	pods      []*Engine
 	lookahead Time
 
-	// Serial forces single-goroutine window execution (useful to measure
-	// barrier overhead in isolation). Results are identical either way.
+	// pairLook[j][i] is the per-pair lookahead: the earliest an event in
+	// pod shard j can cause one in pod shard i is nextAt(j)+pairLook[j][i].
+	// Zero entries mean "cannot interact" (no connecting path). Nil falls
+	// back to the uniform lookahead for every pair.
+	pairLook [][]Time
+
+	// Serial forces single-goroutine epoch execution (useful to measure
+	// coordination overhead in isolation). Results are identical either way.
 	Serial bool
 
-	active []*Engine // scratch: pods with events in the current window
+	// MaxEpoch caps adaptive widening at MaxEpoch sub-windows per epoch.
+	// 0 means DefaultMaxEpoch; 1 disables widening (classic lockstep).
+	MaxEpoch int
+
+	// AdaptAfter is how many consecutive calm (no pod→pod traffic) epochs
+	// must pass before epochLen doubles. 0 means DefaultAdaptAfter.
+	AdaptAfter int
+
+	// Adaptive state (coordinator-owned).
+	epochLen int
+	calm     int
+
+	// Epoch parameters published to workers (written by the coordinator
+	// strictly before the epoch's work signals, read by workers after).
+	epochStart Time
+	epochEnd   Time
+
+	bar    epochBarrier
+	stats  ShardStats
+	active []*Engine // scratch: pods with events in the current epoch
 }
 
 // NewSharded builds a sharded engine group with the given number of pod
@@ -59,7 +127,7 @@ func NewSharded(seed int64, pods int, lookahead Time) *ShardedEngine {
 	if lookahead <= 0 {
 		panic("sim: NewSharded needs a positive lookahead")
 	}
-	s := &ShardedEngine{lookahead: lookahead}
+	s := &ShardedEngine{lookahead: lookahead, epochLen: 1}
 	s.fabric = New(seed)
 	root := s.fabric.root
 	for i := 0; i < pods; i++ {
@@ -67,6 +135,33 @@ func NewSharded(seed int64, pods int, lookahead Time) *ShardedEngine {
 		s.pods = append(s.pods, p)
 	}
 	return s
+}
+
+// SetPairLookahead installs the per-pair lookahead matrix: look[j][i] is
+// the minimum latency of an event in pod shard j causing one in pod shard
+// i, or zero when no path connects them. Every non-zero entry must be at
+// least the uniform lookahead (the matrix refines the global bound, it
+// cannot tighten below it). Used by barrier elision to extend a solo
+// shard's horizon past the uniform window.
+func (s *ShardedEngine) SetPairLookahead(look [][]Time) {
+	if look == nil {
+		s.pairLook = nil
+		return
+	}
+	if len(look) != len(s.pods) {
+		panic(fmt.Sprintf("sim: SetPairLookahead got %d rows for %d pods", len(look), len(s.pods)))
+	}
+	for j := range look {
+		if len(look[j]) != len(s.pods) {
+			panic(fmt.Sprintf("sim: SetPairLookahead row %d has %d entries for %d pods", j, len(look[j]), len(s.pods)))
+		}
+		for i, l := range look[j] {
+			if i != j && l != 0 && l < s.lookahead {
+				panic(fmt.Sprintf("sim: pair lookahead [%d][%d]=%v below uniform lookahead %v", j, i, l, s.lookahead))
+			}
+		}
+	}
+	s.pairLook = look
 }
 
 // Fabric returns the fabric/control shard. This is the engine all shared
@@ -82,6 +177,9 @@ func (s *ShardedEngine) Pod(i int) *Engine { return s.pods[i] }
 
 // Now returns the fabric clock.
 func (s *ShardedEngine) Now() Time { return s.fabric.now }
+
+// Stats returns coordination counters accumulated across RunUntil calls.
+func (s *ShardedEngine) Stats() ShardStats { return s.stats }
 
 // Fired reports events executed across all shards.
 func (s *ShardedEngine) Fired() uint64 {
@@ -104,28 +202,56 @@ func (s *ShardedEngine) podMin() (Time, bool) {
 	return best, ok
 }
 
-// flush applies every pod outbox at a barrier: pod order, then send order
-// within a pod. Each shard's outbox is already time-sorted (events are
-// appended in execution order), so heap pushes assign tie-breaking seq
-// numbers deterministically.
+// flush applies every pod outbox at an epoch end: pod order, then bucket
+// (first-send) order, then send order within a bucket. Per destination
+// heap this reproduces exactly the push order of the unbatched scheme, so
+// tie-breaking seq numbers are assigned identically.
 func (s *ShardedEngine) flush() {
+	s.stats.Flushes++
 	for _, p := range s.pods {
-		for i, ce := range p.outbox {
-			if ce.at < ce.dst.now {
-				panic(fmt.Sprintf("sim: cross-shard event at %v violates causality (dst shard %d already at %v; lookahead too large?)",
-					ce.at, ce.dst.shard, ce.dst.now))
+		for bi := range p.outboxes {
+			b := &p.outboxes[bi]
+			dst := b.dst
+			for i, ev := range b.evs {
+				if ev.at < dst.now {
+					panic(fmt.Sprintf("sim: cross-shard event at %v violates causality (dst shard %d already at %v; lookahead too large?)",
+						ev.at, dst.shard, dst.now))
+				}
+				dst.At(ev.at, ev.fn)
+				b.evs[i] = bufEvent{}
 			}
-			ce.dst.At(ce.at, ce.fn)
-			p.outbox[i] = crossEvent{}
+			b.evs = b.evs[:0]
 		}
-		p.outbox = p.outbox[:0]
 	}
+}
+
+// pairLookTo returns the lookahead bound for events in pod shard j
+// affecting pod shard i, zero meaning "cannot interact".
+func (s *ShardedEngine) pairLookTo(j, i int) Time {
+	if s.pairLook == nil {
+		return s.lookahead
+	}
+	return s.pairLook[j][i]
 }
 
 // RunUntil advances the whole group until every shard's virtual time
 // reaches deadline (or all queues drain). It is the sharded counterpart of
 // Engine.RunUntil and leaves every shard clock at deadline.
 func (s *ShardedEngine) RunUntil(deadline Time) {
+	maxEpoch := s.MaxEpoch
+	if maxEpoch <= 0 {
+		maxEpoch = DefaultMaxEpoch
+	}
+	adaptAfter := s.AdaptAfter
+	if adaptAfter <= 0 {
+		adaptAfter = DefaultAdaptAfter
+	}
+	if s.epochLen < 1 {
+		s.epochLen = 1
+	}
+	if s.epochLen > maxEpoch {
+		s.epochLen = maxEpoch
+	}
 	workers := s.startWorkers()
 	for {
 		fabT, fabOK := s.fabric.nextAt()
@@ -150,20 +276,106 @@ func (s *ShardedEngine) RunUntil(deadline Time) {
 				}
 			}
 			s.fabric.step()
+			s.stats.FabricSteps++
 			continue
 		}
 		if podT > deadline {
 			break
 		}
-		w := podT + s.lookahead
+
+		// Epoch bounds: up to epochLen sub-windows of the base width,
+		// never past the frozen fabric's next event or the deadline.
+		w := podT + Time(s.epochLen)*s.lookahead
+		if w < podT { // overflow paranoia
+			w = deadline + 1
+		}
 		if fabOK && fabT < w {
 			w = fabT
 		}
 		if deadline+1 < w {
 			w = deadline + 1
 		}
-		s.runWindow(w, workers)
+
+		s.active = s.active[:0]
+		for _, p := range s.pods {
+			p.crossSent = 0
+			if t, ok := p.nextAt(); ok && t < w {
+				s.active = append(s.active, p)
+			}
+		}
+
+		if len(s.active) == 1 {
+			// Barrier elision: the solo shard's horizon extends to the
+			// earliest instant any peer's pending work could affect it
+			// (per-pair bound), still capped by fabric and deadline. Peers
+			// execute nothing meanwhile, so the bound cannot move.
+			// MaxEpoch=1 pins classic lockstep: no extension at all.
+			solo := s.active[0]
+			h := w
+			if maxEpoch > 1 {
+				h = deadline + 1
+				if fabOK && fabT < h {
+					h = fabT
+				}
+				for _, p := range s.pods {
+					if p == solo {
+						continue
+					}
+					t, ok := p.nextAt()
+					if !ok {
+						continue
+					}
+					l := s.pairLookTo(p.shard, solo.shard)
+					if l == 0 {
+						continue // no path: peer can never reach the solo shard
+					}
+					if t+l < h {
+						h = t + l
+					}
+				}
+			}
+			if h < w {
+				// Cannot happen (peers' nextAt >= w by construction), but
+				// never run a narrower window than the uniform bound.
+				h = w
+			}
+			s.epochStart, s.epochEnd = podT, h
+			s.runEpochInline()
+			s.stats.SoloRuns++
+		} else {
+			s.epochStart, s.epochEnd = podT, w
+			if workers == nil {
+				s.runEpochInline()
+			} else {
+				s.bar.reset(len(s.active))
+				workers.remaining.Store(int32(len(s.active)))
+				for _, p := range s.active {
+					workers.work[p.shard] <- struct{}{}
+				}
+				<-workers.done
+				s.stats.SubBarriers += s.bar.phases
+			}
+			s.stats.Epochs++
+		}
 		s.flush()
+
+		// Adapt: any pod→pod traffic resets the epoch to a single window;
+		// AdaptAfter consecutive calm epochs earn a doubling, capped.
+		crossed := uint64(0)
+		for _, p := range s.pods {
+			crossed += uint64(p.crossSent)
+		}
+		s.stats.CrossEvents += crossed
+		if crossed > 0 {
+			s.calm = 0
+			s.epochLen = 1
+		} else if s.calm++; s.calm >= adaptAfter && s.epochLen < maxEpoch {
+			s.epochLen *= 2
+			if s.epochLen > maxEpoch {
+				s.epochLen = maxEpoch
+			}
+			s.calm = 0
+		}
 	}
 	if workers != nil {
 		workers.stop()
@@ -175,66 +387,151 @@ func (s *ShardedEngine) RunUntil(deadline Time) {
 	}
 }
 
-// runWindow executes all pod events strictly before w. Windows with a
-// single active shard run inline on the coordinator goroutine; wider
-// windows fan out to the persistent workers.
-func (s *ShardedEngine) runWindow(w Time, workers *windowWorkers) {
-	s.active = s.active[:0]
-	for _, p := range s.pods {
-		if t, ok := p.nextAt(); ok && t < w {
-			s.active = append(s.active, p)
+// runEpochInline executes the current epoch on the coordinator goroutine:
+// all active shards through each sub-window in shard order, stopping at
+// the first boundary after any pod→pod send — the same decision rule the
+// parallel barrier computes, so results are identical.
+func (s *ShardedEngine) runEpochInline() {
+	w := s.epochEnd
+	b := s.epochStart + s.lookahead
+	for {
+		if b >= w || b < s.epochStart { // b<start: overflow paranoia
+			for _, p := range s.active {
+				p.runWindow(w)
+			}
+			return
 		}
-	}
-	if workers == nil || len(s.active) <= 1 {
 		for _, p := range s.active {
-			p.runWindow(w)
+			p.runWindow(b)
 		}
-		return
-	}
-	for _, p := range s.active {
-		workers.work[p.shard] <- w
-	}
-	for range s.active {
-		<-workers.done
+		s.stats.SubBarriers++
+		for _, p := range s.active {
+			if p.crossSent > 0 {
+				return
+			}
+		}
+		b += s.lookahead
 	}
 }
 
-// windowWorkers is one long-lived goroutine per pod shard, parked between
-// windows. They live only for the duration of one RunUntil call, so a
+// runEpochOn is one worker's share of the current epoch: run its shard
+// through each sub-window, arriving at the epoch barrier between
+// boundaries with "did I send pod→pod yet" as its contribution. The
+// barrier ORs contributions and publishes one decision per phase, so every
+// worker stops at exactly the same boundary regardless of scheduling.
+func (s *ShardedEngine) runEpochOn(p *Engine) {
+	w := s.epochEnd
+	b := s.epochStart + s.lookahead
+	for {
+		if b >= w || b < s.epochStart {
+			p.runWindow(w)
+			return
+		}
+		p.runWindow(b)
+		if s.bar.arrive(p.crossSent > 0) {
+			return
+		}
+		b += s.lookahead
+	}
+}
+
+// epochBarrier is a sense-reversing phase barrier that OR-combines a
+// boolean contribution from each arriver and releases everyone with the
+// combined decision. Contributions for phase k are all recorded before
+// the phase-k decision is published, and nobody starts phase k+1 work
+// until then, so the decision is uniform and deterministic.
+type epochBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	phase   uint64
+	flag    bool // OR accumulator for the current phase
+	out     bool // decision of the last completed phase
+	phases  uint64
+}
+
+// reset arms the barrier for an epoch with n participants. Only called by
+// the coordinator while all workers are parked.
+func (b *epochBarrier) reset(n int) {
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.n = n
+	b.arrived = 0
+	b.flag = false
+	b.phases = 0
+}
+
+// arrive blocks until all n participants of the current phase have
+// arrived, then returns the OR of their contributions.
+func (b *epochBarrier) arrive(contrib bool) bool {
+	b.mu.Lock()
+	if contrib {
+		b.flag = true
+	}
+	ph := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.out = b.flag
+		b.flag = false
+		b.arrived = 0
+		b.phase++
+		b.phases++
+		out := b.out
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return out
+	}
+	for ph == b.phase {
+		b.cond.Wait()
+	}
+	out := b.out
+	b.mu.Unlock()
+	return out
+}
+
+// epochWorkers is one long-lived goroutine per pod shard, parked between
+// epochs. They live only for the duration of one RunUntil call, so a
 // ShardedEngine needs no Close and leaks nothing.
-type windowWorkers struct {
-	work []chan Time
-	done chan struct{}
-	wg   sync.WaitGroup
+type epochWorkers struct {
+	work      []chan struct{}
+	done      chan struct{}
+	remaining atomic.Int32
+	wg        sync.WaitGroup
 }
 
-// startWorkers spawns the per-pod window workers, or returns nil when
-// parallel execution is pointless (single pod or Serial mode) — results
-// are identical either way, only wall-clock differs.
-func (s *ShardedEngine) startWorkers() *windowWorkers {
-	if s.Serial || len(s.pods) <= 1 {
+// startWorkers spawns the per-pod epoch workers, or returns nil when
+// parallel execution is pointless: Serial mode, a single pod, or a
+// single-processor runtime (GOMAXPROCS=1), where goroutine ping-pong is
+// pure overhead. Results are identical either way — the determinism gate
+// pins GOMAXPROCS=1 against GOMAXPROCS=8 — only wall-clock differs.
+func (s *ShardedEngine) startWorkers() *epochWorkers {
+	if s.Serial || len(s.pods) <= 1 || runtime.GOMAXPROCS(0) <= 1 {
 		return nil
 	}
-	ww := &windowWorkers{
-		work: make([]chan Time, len(s.pods)),
-		done: make(chan struct{}, len(s.pods)),
+	ww := &epochWorkers{
+		work: make([]chan struct{}, len(s.pods)),
+		done: make(chan struct{}, 1),
 	}
 	for i, p := range s.pods {
-		ch := make(chan Time, 1)
+		ch := make(chan struct{}, 1)
 		ww.work[i] = ch
 		ww.wg.Add(1)
-		go func(p *Engine, ch chan Time) {
+		go func(p *Engine, ch chan struct{}) {
 			defer ww.wg.Done()
-			for w := range ch {
-				p.runWindow(w)
-				ww.done <- struct{}{}
+			for range ch {
+				s.runEpochOn(p)
+				if ww.remaining.Add(-1) == 0 {
+					ww.done <- struct{}{}
+				}
 			}
 		}(p, ch)
 	}
 	return ww
 }
 
-func (w *windowWorkers) stop() {
+func (w *epochWorkers) stop() {
 	for _, ch := range w.work {
 		close(ch)
 	}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 
 	"rpingmesh/internal/ecmp"
@@ -161,6 +162,19 @@ type aclKey struct {
 	src, dst netip.Addr
 }
 
+// routeKey identifies one deterministic ECMP routing decision: the source
+// device plus the full five-tuple (the destination device is a pure
+// function of DstIP, the hash choices a pure function of the tuple).
+type routeKey struct {
+	src   topo.DeviceID
+	tuple ecmp.FiveTuple
+}
+
+// routeCacheMax bounds the cache; tuples rotate (hourly inter-ToR source
+// port rotation), so on overflow the whole cache is dropped and rebuilt
+// rather than tracking LRU state on the hot path.
+const routeCacheMax = 1 << 16
+
 // Net is the simulated RoCE fabric. It implements rnic.Network.
 //
 // Under the sharded engine, SendPacket runs on the sending device's pod
@@ -193,6 +207,16 @@ type Net struct {
 	nextID    FlowID
 	tickArmed bool
 
+	// Route cache. topo.Route is a pure function of (src, tuple) for a
+	// built topology (routing tables are immutable; faults and drops are
+	// applied outside routing), so memoizing it is free determinism-wise
+	// and removes the per-packet BFS-descent and map-hashing cost from the
+	// hot path. Guarded by an RWMutex because packets from different pod
+	// shards route concurrently inside one parallel window; cached slices
+	// are never mutated after insertion.
+	routeMu    sync.RWMutex
+	routeCache map[routeKey][]topo.LinkID
+
 	// Per-priority state (nil when Config.QoS is disabled — the classic
 	// single-queue path must stay bit-identical).
 	qos       *qos.State
@@ -215,6 +239,8 @@ func New(eng *sim.Engine, tp *topo.Topology, cfg Config) *Net {
 		links:   make([]*linkState, len(tp.Links)),
 		aclDeny: make(map[aclKey]bool),
 		flows:   make(map[FlowID]*Flow),
+
+		routeCache: make(map[routeKey][]topo.LinkID),
 	}
 	n.dropSalt = n.rng.Uint64()
 	for i, l := range tp.Links {
@@ -298,6 +324,28 @@ func (n *Net) engFor(id topo.DeviceID) *sim.Engine {
 // the source host's clock for its token buckets).
 func (n *Net) EngineFor(id topo.DeviceID) *sim.Engine { return n.engFor(id) }
 
+// routeFor returns the (memoized) ECMP path for a packet.
+func (n *Net) routeFor(src topo.DeviceID, dst topo.DeviceID, tuple ecmp.FiveTuple) ([]topo.LinkID, error) {
+	key := routeKey{src: src, tuple: tuple}
+	n.routeMu.RLock()
+	path, ok := n.routeCache[key]
+	n.routeMu.RUnlock()
+	if ok {
+		return path, nil
+	}
+	path, err := n.topo.Route(src, dst, tuple.Hasher())
+	if err != nil {
+		return nil, err
+	}
+	n.routeMu.Lock()
+	if len(n.routeCache) >= routeCacheMax {
+		clear(n.routeCache)
+	}
+	n.routeCache[key] = path
+	n.routeMu.Unlock()
+	return path, nil
+}
+
 // SendPacket implements rnic.Network: route, apply faults, queue delays,
 // then deliver.
 func (n *Net) SendPacket(p *rnic.Packet) {
@@ -305,7 +353,7 @@ func (n *Net) SendPacket(p *rnic.Packet) {
 	if !ok {
 		return
 	}
-	path, err := n.topo.Route(p.SrcDev, dst.ID(), p.Tuple.Hasher())
+	path, err := n.routeFor(p.SrcDev, dst.ID(), p.Tuple)
 	if err != nil {
 		return
 	}
@@ -329,8 +377,9 @@ func (n *Net) SendPacket(p *rnic.Packet) {
 		}
 		ls.delivered.Add(1)
 	}
-	dstEng := n.engFor(dst.ID())
-	srcEng.ScheduleOn(dstEng, now+delay, func() { dst.Deliver(p) })
+	// The destination device is already in hand — resolve its engine
+	// directly instead of re-looking it up by ID.
+	srcEng.ScheduleOn(dst.Engine(), now+delay, func() { dst.Deliver(p) })
 }
 
 // chance returns a uniform [0,1) value that is a pure function of the

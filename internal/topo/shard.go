@@ -38,6 +38,28 @@ type Sharding struct {
 	// is the engine's path lookahead: no event in one pod shard can cause
 	// an event in another sooner than that. Zero when Shards < 2.
 	MinCrossPathLinks int
+
+	// PairMinLinks[a][b] is the minimum number of links on any path from an
+	// RNIC in shard a to an RNIC in shard b — the per-pair refinement of
+	// MinCrossPathLinks. Pod pairs that are farther apart than the global
+	// minimum (grouped shards, asymmetric fabrics) admit proportionally
+	// wider conservative windows between just those two shards. Zero on the
+	// diagonal and for pairs with no connecting path (no event in a can
+	// ever cause one in b). Nil when Shards < 2.
+	PairMinLinks [][]int
+}
+
+// PairLinks answers the engine's cross-shard horizon query: the minimum
+// number of links an event in shard from must traverse to cause an event
+// in shard to. Zero means "cannot interact" (same shard, no path, or no
+// pairwise data) — callers must treat that as an unbounded horizon only
+// when from != to and PairMinLinks was computed.
+func (s *Sharding) PairLinks(from, to int) int {
+	if from == to || from < 0 || to < 0 ||
+		from >= len(s.PairMinLinks) || to >= len(s.PairMinLinks) {
+		return 0
+	}
+	return s.PairMinLinks[from][to]
 }
 
 // Partition splits the topology into at most maxShards pod shards. Pods
@@ -99,7 +121,18 @@ func (t *Topology) Partition(maxShards int) (Sharding, error) {
 	}
 
 	if nShards >= 2 {
-		sh.MinCrossPathLinks = t.minCrossPathLinks(&sh)
+		sh.PairMinLinks = t.pairMinLinks(&sh)
+		sh.MinCrossPathLinks = 0
+		for a := range sh.PairMinLinks {
+			for b, d := range sh.PairMinLinks[a] {
+				if a == b || d <= 0 {
+					continue
+				}
+				if sh.MinCrossPathLinks == 0 || d < sh.MinCrossPathLinks {
+					sh.MinCrossPathLinks = d
+				}
+			}
+		}
 		if sh.MinCrossPathLinks <= 0 {
 			return Sharding{}, fmt.Errorf("topo: partition found RNICs of different shards zero links apart")
 		}
@@ -114,12 +147,13 @@ func (s *Sharding) shardOfDev(d DeviceID) int {
 	return FabricShard
 }
 
-// minCrossPathLinks runs one multi-source BFS per shard, seeded at the
-// shard's RNICs, and returns the smallest link count at which any BFS
-// reaches an RNIC of a different shard. Graph distance lower-bounds the
-// routed (up/down ECMP) path length, so the result is a safe lookahead
-// even if routing takes a longer way around.
-func (t *Topology) minCrossPathLinks(s *Sharding) int {
+// pairMinLinks runs one multi-source BFS per shard, seeded at the shard's
+// RNICs, and records the smallest link count at which each BFS first
+// reaches an RNIC of every other shard — the full directed PairMinLinks
+// matrix. Graph distance lower-bounds the routed (up/down ECMP) path
+// length, so every entry is a safe per-pair lookahead even if routing
+// takes a longer way around. Entries stay zero for unreachable pairs.
+func (t *Topology) pairMinLinks(s *Sharding) [][]int {
 	// Adjacency over directed links (every cable contributes both
 	// directions, so BFS over out-edges reaches everything).
 	adj := make(map[DeviceID][]DeviceID)
@@ -127,7 +161,10 @@ func (t *Topology) minCrossPathLinks(s *Sharding) int {
 		adj[l.From] = append(adj[l.From], l.To)
 	}
 
-	best := -1
+	pair := make([][]int, s.Shards)
+	for i := range pair {
+		pair[i] = make([]int, s.Shards)
+	}
 	seeds := make(map[int][]DeviceID)
 	for id, r := range t.RNICs {
 		seeds[s.DevShard[id]] = append(seeds[s.DevShard[id]], r.ID)
@@ -139,21 +176,20 @@ func (t *Topology) minCrossPathLinks(s *Sharding) int {
 			dist[id] = 0
 			queue = append(queue, id)
 		}
-		for len(queue) > 0 {
+		found := 0
+		for len(queue) > 0 && found < s.Shards-1 {
 			cur := queue[0]
 			queue = queue[1:]
 			d := dist[cur]
-			if best >= 0 && d >= best {
-				continue
-			}
 			for _, nb := range adj[cur] {
 				if _, seen := dist[nb]; seen {
 					continue
 				}
 				dist[nb] = d + 1
 				if _, isRNIC := t.RNICs[nb]; isRNIC && s.DevShard[nb] != shard {
-					if best < 0 || d+1 < best {
-						best = d + 1
+					if other := s.DevShard[nb]; pair[shard][other] == 0 {
+						pair[shard][other] = d + 1
+						found++
 					}
 					continue
 				}
@@ -161,10 +197,7 @@ func (t *Topology) minCrossPathLinks(s *Sharding) int {
 			}
 		}
 	}
-	if best < 0 {
-		return 0
-	}
-	return best
+	return pair
 }
 
 // Lookahead returns the minimum cross-shard propagation delay: the

@@ -141,6 +141,98 @@ func bruteForceCrossDistance(t *Topology, sh *Sharding) int {
 	return best
 }
 
+// TestPairMinLinks: the directed per-pair distance matrix matches a
+// per-RNIC brute force, its off-diagonal minimum is MinCrossPathLinks,
+// the diagonal is zero, and PairLinks answers horizon queries with the
+// documented bounds behavior.
+func TestPairMinLinks(t *testing.T) {
+	for _, pods := range []int{2, 4, 8} {
+		for _, maxShards := range []int{2, 3, pods} {
+			t.Run(fmt.Sprintf("pods=%d/maxShards=%d", pods, maxShards), func(t *testing.T) {
+				topo := shardFabric(t, pods)
+				sh, err := topo.Partition(maxShards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sh.PairMinLinks) != sh.Shards {
+					t.Fatalf("PairMinLinks has %d rows, want %d", len(sh.PairMinLinks), sh.Shards)
+				}
+				want := bruteForcePairDistance(topo, &sh)
+				min := 0
+				for a := 0; a < sh.Shards; a++ {
+					for b := 0; b < sh.Shards; b++ {
+						if got := sh.PairLinks(a, b); got != sh.PairMinLinks[a][b] {
+							t.Fatalf("PairLinks(%d,%d) = %d, matrix says %d", a, b, got, sh.PairMinLinks[a][b])
+						}
+						if a == b {
+							if sh.PairMinLinks[a][b] != 0 {
+								t.Fatalf("diagonal [%d][%d] = %d, want 0", a, b, sh.PairMinLinks[a][b])
+							}
+							continue
+						}
+						if got := sh.PairMinLinks[a][b]; got != want[a][b] {
+							t.Fatalf("PairMinLinks[%d][%d] = %d, brute force = %d", a, b, got, want[a][b])
+						}
+						if d := sh.PairMinLinks[a][b]; d > 0 && (min == 0 || d < min) {
+							min = d
+						}
+					}
+				}
+				if min != sh.MinCrossPathLinks {
+					t.Fatalf("matrix min %d != MinCrossPathLinks %d", min, sh.MinCrossPathLinks)
+				}
+			})
+		}
+	}
+	// Out-of-range and same-shard queries answer "cannot interact".
+	sh, err := shardFabric(t, 4).Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]int{{0, 0}, {-1, 1}, {1, -1}, {0, 99}, {99, 0}} {
+		if got := sh.PairLinks(q[0], q[1]); got != 0 {
+			t.Fatalf("PairLinks(%d,%d) = %d, want 0", q[0], q[1], got)
+		}
+	}
+}
+
+// bruteForcePairDistance BFSes from every RNIC individually and folds the
+// per-shard-pair minimum — quadratic and independent of the production
+// multi-source implementation.
+func bruteForcePairDistance(t *Topology, sh *Sharding) [][]int {
+	adj := make(map[DeviceID][]DeviceID)
+	for _, l := range t.Links {
+		adj[l.From] = append(adj[l.From], l.To)
+	}
+	pair := make([][]int, sh.Shards)
+	for i := range pair {
+		pair[i] = make([]int, sh.Shards)
+	}
+	for src := range t.RNICs {
+		from := sh.DevShard[src]
+		dist := map[DeviceID]int{src: 0}
+		queue := []DeviceID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if _, seen := dist[nb]; seen {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+				if _, isRNIC := t.RNICs[nb]; isRNIC && sh.DevShard[nb] != from {
+					to := sh.DevShard[nb]
+					if pair[from][to] == 0 || dist[nb] < pair[from][to] {
+						pair[from][to] = dist[nb]
+					}
+				}
+			}
+		}
+	}
+	return pair
+}
+
 // TestPartitionGrouping: fewer shards than pods groups pods round-robin and
 // stays deterministic; single-shard and rail topologies report Shards < 2
 // so callers fall back to the serial engine.
