@@ -16,13 +16,18 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages (analyzer worker pool, ingest
-# pipeline, tsdb, wire, the alert/API console tier, and the federated
-# control plane) get a dedicated race pass with repetition; everything
-# else runs once.
+# pipeline, tsdb, wire, the alert/API console tier, the tenant
+# scheduler, and the federated control plane) get a dedicated race pass
+# with repetition; everything else runs once. The streaming hub, the
+# tsdb follower, and the reader-swarm chaos scenario get named extra
+# repetitions: they are the new concurrency hot spots of the serving
+# tier.
 race:
-	$(GO) test -race -count=2 ./internal/proto ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api
+	$(GO) test -race -count=2 ./internal/proto ./internal/analyzer ./internal/pipeline ./internal/tsdb ./internal/wire ./internal/alert ./internal/api ./internal/controller
 	$(GO) test -race -count=2 ./internal/fed ./internal/qos ./internal/localizer ./internal/sim
-	$(GO) test -race -count=2 -run 'TestShardedScenario' ./internal/chaos
+	$(GO) test -race -count=4 -run 'TestHub|TestSSEStreamAndShutdownDrain|TestLongPollReplayAndPark' ./internal/api
+	$(GO) test -race -count=4 -run 'TestFollower' ./internal/tsdb
+	$(GO) test -race -count=2 -run 'TestShardedScenario|TestAPIReadersScenarioGreen' ./internal/chaos
 	$(GO) test -race -timeout 30m ./...
 
 # Boot the live daemon with the ops console and smoke-test it over real
@@ -59,8 +64,11 @@ bench:
 
 # Seeded chaos scenarios against the full monitoring stack; exits
 # non-zero with a minimized repro line on any invariant violation.
+# -api-readers pins a 1000-strong ops-console reader fleet (long-poll +
+# SSE) onto every scenario, proving the serving tier under chaos.
 soak:
 	$(GO) run ./cmd/rpmesh-soak -scenarios 5 -budget 100s
+	$(GO) run ./cmd/rpmesh-soak -scenarios 2 -budget 120s -api-readers 1000
 
 # Deterministic 3-node federation acceptance check: inject a fabric
 # fault every node sees, assert one quorum-confirmed incident opens and
@@ -82,10 +90,11 @@ bakeoff:
 # --- benchmark regression gate -----------------------------------------
 
 # Key benchmarks, each pinned by the regression gate: analyzer window
-# analysis (serial + sharded), incident folding, pipeline ingest, and
-# the pod-sharded simulation engine (serial vs 2/4 shards).
-BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest|BenchmarkEngineSharded|BenchmarkLocalizer007)$$
-BENCH_PKGS    = . ./internal/analyzer ./internal/alert ./internal/localizer
+# analysis (serial + sharded), incident folding, pipeline ingest, the
+# pod-sharded simulation engine (serial vs 2/4 shards), the streaming
+# hub fan-out, and the tsdb follower catch-up.
+BENCH_PATTERN = ^(BenchmarkAnalyzerWindow|BenchmarkAnalyzerWindowParallel4|BenchmarkIncidentFold|BenchmarkPipelineIngest|BenchmarkEngineSharded|BenchmarkLocalizer007|BenchmarkStreamFanout|BenchmarkFollowerCatchup)$$
+BENCH_PKGS    = . ./internal/analyzer ./internal/alert ./internal/localizer ./internal/api ./internal/tsdb
 
 bench-json:
 	$(GO) build -o bin/benchdiff ./cmd/benchdiff

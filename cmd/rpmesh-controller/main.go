@@ -24,6 +24,7 @@
 //	rpmesh-controller [-listen 127.0.0.1:7201] [-partitions 4 -capacity 256 -policy block]
 //	                  [-pods 2 -tors 2 -aggs 2 -spines 4 -hosts 2 -rnics 2]
 //	                  [-workers N -analyzer-window 20s] [-serve :8080]
+//	                  [-tenants gold:4,silver:2,bronze:1 -tenant-pps 500]
 package main
 
 import (
@@ -142,6 +143,8 @@ func main() {
 	localizer := flag.String("localizer", "", "switch localizer: alg1 (Algorithm 1 whole-vote, default) or 007 (democratic per-flow voting)")
 	qosClasses := flag.Int("qos-classes", 0, "with -fed-nodes: run each node's simulated fabric with N per-priority traffic classes (0/1: single-class)")
 	serve := flag.String("serve", "", "ops-console HTTP listen address (e.g. :8080); empty disables")
+	tenants := flag.String("tenants", "", "probe tenants as name:weight[:maxpps],... (e.g. gold:4,silver:2,bronze:1); empty disables tenant scheduling")
+	tenantPPS := flag.Float64("tenant-pps", 0, "total probe capacity (packets/s) shared by -tenants via deficit round robin; 0 = uncontended")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped on shutdown)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	fedNodes := flag.Int("fed-nodes", 0, "run an in-process federated control plane with N nodes (quorum incident confirmation); 0 disables")
@@ -207,7 +210,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("topology: %v", err)
 	}
-	ctrl := controller.New(sim.New(time.Now().UnixNano()), tp, controller.Config{})
+	tenantCfgs, err := controller.ParseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("-tenants: %v", err)
+	}
+	ctrl := controller.New(sim.New(time.Now().UnixNano()), tp, controller.Config{
+		Tenants: tenantCfgs, TenantCapacityPPS: *tenantPPS,
+	})
 
 	// The full Analyzer rides its own engine, advanced to the wall clock
 	// before each window so Tick sees real time. TCP receivers feed it
@@ -221,9 +230,13 @@ func main() {
 	})
 
 	// The ingest tier: wire.Server → pipeline (concurrent mode, one
-	// consumer per partition) → {aggregator, Analyzer} → tsdb.
-	db := tsdb.Open(tsdb.Config{})
+	// consumer per partition) → {aggregator, Analyzer} → tsdb. The primary
+	// journals its mutations so the console's read follower can catch up
+	// by delta; every API range/quantile read is served from the replica,
+	// never contending with the ingest path's write lock.
+	db := tsdb.Open(tsdb.Config{JournalCapacity: 1 << 16})
 	an.SetMetricSink(db)
+	follower := tsdb.NewFollower(db)
 	agg := newAggregator(db)
 	pipe := pipeline.New(pipeline.Config{
 		Partitions: *partitions, Capacity: *capacity, Policy: pol,
@@ -249,9 +262,19 @@ func main() {
 
 	var console *api.Server
 	if *serve != "" {
-		console = api.New(api.Backend{
-			Windows: an, TSDB: db, Pipeline: pipe, Alerts: alerts,
-		}, api.Config{Addr: *serve})
+		backend := api.Backend{
+			Windows: an, TSDB: follower, Pipeline: pipe, Alerts: alerts,
+			// Sheddable endpoints answer 429 + Retry-After while the ingest
+			// pipeline backs up or the read replica falls too far behind.
+			Admission: &api.Admission{Pipeline: pipe, Follower: follower},
+		}
+		if ctrl.Tenants() {
+			backend.Tenants = ctrl
+		}
+		console = api.New(backend, api.Config{Addr: *serve})
+		// Incident transitions stream at /api/stream/incidents as they
+		// happen (window reports are published from the analyzer loop).
+		alerts.AddNotifier(console.AlertNotifier())
 		if err := console.Start(); err != nil {
 			log.Fatalf("ops console: %v", err)
 		}
@@ -278,6 +301,10 @@ func main() {
 			aeng.RunUntil(sim.Time(time.Now().UnixNano()))
 			rep := an.Tick()
 			alerts.Observe(rep)
+			follower.CatchUp()
+			if console != nil {
+				console.PublishWindow(rep)
+			}
 			fmt.Printf("analyzer: window=%d probes=%d drops[rnic=%.4f switch=%.4f] problems=%d suspicious_switches=%d\n",
 				rep.Index, rep.Cluster.Probes, rep.Cluster.RNICDropRate,
 				rep.Cluster.SwitchDropRate, len(rep.Problems), len(rep.SuspiciousSwitches))
@@ -288,8 +315,15 @@ func main() {
 		case <-tick.C:
 			now := sim.Time(time.Now().UnixNano())
 			line := agg.publish(now)
+			follower.CatchUp()
 			st := pipe.Stats()
 			fmt.Printf("registered=%d %s\n", ctrl.Registered(), line)
+			if ctrl.Tenants() {
+				for _, g := range ctrl.TenantGrants() {
+					fmt.Printf("  tenant %s: weight=%d hosts=%d demand=%.1fpps granted=%.1fpps share=%.2f\n",
+						g.Name, g.Weight, g.Hosts, g.DemandPPS, g.GrantedPPS, g.Share)
+				}
+			}
 			fmt.Printf("  pipeline: %s\n", st)
 			for i, ps := range st.Partitions {
 				if ps.Enqueued == 0 && ps.Depth == 0 {

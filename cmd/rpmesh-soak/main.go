@@ -44,6 +44,7 @@ func main() {
 		qosClasses = flag.Int("qos-classes", 0, "force an N-class QoS fabric on every scenario (default: every fourth scenario runs 4-class)")
 		qosFault   = flag.String("qos-fault", "", "force one QoS fault family on every QoS scenario ("+shortQoSFaults()+"; default rotates)")
 		localizer  = flag.String("localizer", "", "force the switch localizer (alg1,007) on every scenario (default alternates on QoS scenarios)")
+		apiReaders = flag.Int("api-readers", 0, "concurrent ops-console readers (long-poll + SSE) hammering every scenario's API (default: every second scenario runs 32)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose    = flag.Bool("v", false, "per-scenario detail")
@@ -187,6 +188,15 @@ func main() {
 		if pinned["localizer"] {
 			sc.Localizer = *localizer
 		}
+		// Every second scenario runs a reader fleet against the console so
+		// the streaming tier's shutdown-drain and shed accounting soak
+		// continuously; -api-readers pins the fleet size for every run.
+		if i%2 == 0 {
+			sc.APIReaders = 32
+		}
+		if pinned["api-readers"] {
+			sc.APIReaders = *apiReaders
+		}
 
 		res, err := chaos.Run(sc)
 		if err != nil {
@@ -208,6 +218,9 @@ func main() {
 		epochNote := ""
 		if sc.Shards > 1 && sc.ShardEpoch > 0 {
 			epochNote = fmt.Sprintf("/epoch=%d", sc.ShardEpoch)
+		}
+		if sc.APIReaders > 0 {
+			qosNote += fmt.Sprintf(" readers=%d", sc.APIReaders)
 		}
 		fmt.Printf("scenario %d seed=%d policy=%s wire=%v net-faults=%v shards=%d%s fed=%d%s events=%d windows=%d drops=%d shed=%d waits=%d: %s\n",
 			i, sc.Seed, sc.Policy, sc.Wire, sc.NetworkFaults, sc.Shards, epochNote, sc.FedNodes, qosNote,

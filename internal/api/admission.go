@@ -1,0 +1,91 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// LoadSource reports ingest-pipeline pressure as the fill fraction of
+// its fullest partition (0..1); *pipeline.Pipeline implements it.
+type LoadSource interface {
+	QueueFraction() float64
+}
+
+// LagSource reports how far a read replica trails the primary, in
+// journal entries; *tsdb.Follower implements it.
+type LagSource interface {
+	Lag() uint64
+}
+
+// Admission ties API admission to backend pressure: while the ingest
+// pipeline is near overflow or the read follower has fallen too far
+// behind, sheddable endpoints answer 429 + Retry-After instead of
+// piling reads onto a struggling system. /healthz, /api/metrics and
+// /api/peers always answer — operators and load balancers need them
+// most exactly then. Nil sources disable their check.
+type Admission struct {
+	Pipeline LoadSource
+	Follower LagSource
+
+	// MaxQueueFraction sheds once the fullest pipeline partition is this
+	// full (default 0.9).
+	MaxQueueFraction float64
+	// MaxLag sheds once the follower trails by more than this many
+	// journal entries (default 65536).
+	MaxLag uint64
+	// RetryAfter is the hint clients get in the Retry-After header
+	// (default 1 s).
+	RetryAfter time.Duration
+}
+
+func (a *Admission) setDefaults() {
+	if a.MaxQueueFraction <= 0 {
+		a.MaxQueueFraction = 0.9
+	}
+	if a.MaxLag == 0 {
+		a.MaxLag = 65536
+	}
+	if a.RetryAfter <= 0 {
+		a.RetryAfter = time.Second
+	}
+}
+
+// refuse reports whether the request should be shed, with the reason.
+// Defaults are applied once in New — refuse runs on every request,
+// concurrently.
+func (a *Admission) refuse() (string, bool) {
+	if a.Pipeline != nil {
+		if f := a.Pipeline.QueueFraction(); f >= a.MaxQueueFraction {
+			return fmt.Sprintf("ingest pipeline at %.0f%% of queue capacity", f*100), true
+		}
+	}
+	if a.Follower != nil {
+		if lag := a.Follower.Lag(); lag > a.MaxLag {
+			return fmt.Sprintf("read replica %d entries behind primary", lag), true
+		}
+	}
+	return "", false
+}
+
+// admit wraps a sheddable handler with the Admission check; a nil
+// policy is a no-op.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.b.Admission == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if reason, shed := s.b.Admission.refuse(); shed {
+			s.shed.Add(1)
+			retry := s.b.Admission.RetryAfter
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":          "overloaded: " + reason,
+				"retry_after_ms": retry.Milliseconds(),
+			})
+			return
+		}
+		h(w, r)
+	}
+}

@@ -5,14 +5,28 @@
 // and on-demand watchdog diagnosis. It is the HTTP face the paper's
 // "monitoring console" implies but never specifies.
 //
+// The server is composed from narrow sub-surfaces, each reading through
+// its own backend interface (satisfied by *alert.Engine, *analyzer.
+// Analyzer, *tsdb.DB / *tsdb.Follower, *pipeline.Pipeline):
+//
+//   - incidents.go — incident lifecycle queries (IncidentSource)
+//   - windows.go   — per-window analyzer reports (WindowSource)
+//   - series.go    — tsdb range/quantile queries (SeriesStore)
+//   - ops.go       — healthz, pipeline stats, metrics, diagnose, peers
+//   - stream.go    — SSE/long-poll push of window and incident updates,
+//     fanned out by the bounded Hub (hub.go)
+//
 // Every handler is read-only except /api/diagnose/{host}, which invokes
-// the watchdog's §7.5 decision tree on demand. The server owns nothing:
-// it reads through the Backend's narrow interfaces (satisfied by
-// *analyzer.Analyzer, *tsdb.DB, *pipeline.Pipeline, *alert.Engine), so
-// it can front a deterministic simulation and the live TCP daemon with
-// the same code. Requests are bounded by a per-request timeout, every
-// endpoint keeps its own request/error/latency counters (served at
-// /api/metrics), and Shutdown drains in-flight requests gracefully.
+// the watchdog's §7.5 decision tree on demand. The server owns nothing,
+// so it can front a deterministic simulation and the live TCP daemon
+// with the same code. Point queries are bounded by a per-request
+// timeout; streaming requests bypass the timeout (they are long-lived by
+// design) and are bounded instead by the Hub's queue/shed policy and by
+// Shutdown, which closes the hubs first so every streaming handler
+// drains deterministically before the listener stops. When an Admission
+// policy is wired, sheddable endpoints answer 429 + Retry-After while
+// the ingest pipeline or the read follower is overloaded. Every endpoint
+// keeps its own request/error/latency counters (served at /api/metrics).
 package api
 
 import (
@@ -20,15 +34,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"rpingmesh/internal/alert"
 	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/pipeline"
 	"rpingmesh/internal/sim"
@@ -44,8 +57,9 @@ type WindowSource interface {
 	TotalWindows() int
 }
 
-// SeriesStore answers historical time-series queries; *tsdb.DB
-// implements it.
+// SeriesStore answers historical time-series queries; *tsdb.DB and
+// *tsdb.Follower implement it, so a console can serve every range and
+// quantile read from a replica that never contends with ingest.
 type SeriesStore interface {
 	Series() []string
 	Latest(name string) (tsdb.Point, bool)
@@ -79,12 +93,19 @@ type Backend struct {
 	Windows  WindowSource
 	TSDB     SeriesStore
 	Pipeline StatsSource
-	Alerts   *alert.Engine
+	Alerts   IncidentSource
 	Diagnose DiagnoseFunc
 	// Peers, when set, makes this a federation node's console: /api/peers
 	// serves the node's role/peer table, and /healthz degrades to 503
 	// while the node cannot hear a quorum of the federation.
 	Peers PeerSource
+	// Tenants, when set, serves /api/tenants: the controller's per-tenant
+	// probe-budget grants from the deficit-round-robin scheduler.
+	Tenants TenantSource
+	// Admission, when set, load-sheds sheddable endpoints with 429 +
+	// Retry-After while the ingest pipeline or read follower is
+	// overloaded. /healthz and /api/metrics always answer.
+	Admission *Admission
 }
 
 // Config tunes the server; zero values take the defaults.
@@ -92,10 +113,13 @@ type Config struct {
 	// Addr is the listen address for Start (e.g. ":8080"). Ignored when
 	// the handler is mounted by hand (httptest).
 	Addr string
-	// RequestTimeout bounds each request end to end (default 5 s).
+	// RequestTimeout bounds each point-query request end to end
+	// (default 5 s). Streaming endpoints are exempt.
 	RequestTimeout time.Duration
 	// ShutdownTimeout bounds graceful drain on Shutdown (default 5 s).
 	ShutdownTimeout time.Duration
+	// Stream tunes the fan-out hubs behind /api/stream/*.
+	Stream HubConfig
 }
 
 func (c *Config) setDefaults() {
@@ -105,6 +129,7 @@ func (c *Config) setDefaults() {
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 5 * time.Second
 	}
+	c.Stream.setDefaults()
 }
 
 // EndpointStats is one endpoint's counters.
@@ -122,52 +147,91 @@ type Server struct {
 	handler http.Handler
 	started time.Time
 
+	// Fan-out hubs: analyzer window reports and incident transitions.
+	windows   *Hub
+	incidents *Hub
+
+	// Requests refused by the Admission policy (429).
+	shed atomic.Uint64
+
 	mu      sync.Mutex
 	metrics map[string]*EndpointStats
 	httpSrv *http.Server
 	ln      net.Listener
 }
 
+// surface is one mounted sub-surface of the console. route registers an
+// instrumented handler on the point-query (timeout-bounded) mux;
+// surfaces that must bypass the timeout (streaming) are mounted
+// separately in New.
+type surface interface {
+	mount(route func(pattern, name string, h http.HandlerFunc))
+}
+
 // New builds a server over a backend.
 func New(b Backend, cfg Config) *Server {
 	cfg.setDefaults()
+	if b.Admission != nil {
+		b.Admission.setDefaults()
+	}
 	s := &Server{
-		cfg:     cfg,
-		b:       b,
-		started: time.Now(),
-		metrics: make(map[string]*EndpointStats),
+		cfg:       cfg,
+		b:         b,
+		started:   time.Now(),
+		metrics:   make(map[string]*EndpointStats),
+		windows:   NewHub(cfg.Stream),
+		incidents: NewHub(cfg.Stream),
 	}
 
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(name, s.admit(h)))
+	}
+	exempt := func(pattern, name string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(name, h))
 	}
-	route("GET /healthz", "healthz", s.handleHealthz)
-	route("GET /api/peers", "peers", s.handlePeers)
-	route("GET /api/incidents", "incidents", s.handleIncidents)
-	route("GET /api/incidents/{id}", "incident", s.handleIncident)
-	route("GET /api/alerts/stats", "alerts_stats", s.handleAlertStats)
-	route("GET /api/windows/latest", "windows_latest", s.handleWindowLatest)
-	route("GET /api/windows/{n}", "windows_n", s.handleWindowN)
-	route("GET /api/series", "series_list", s.handleSeriesList)
-	route("GET /api/series/{name}/range", "series_range", s.handleSeriesRange)
-	route("GET /api/series/{name}/quantile", "series_quantile", s.handleSeriesQuantile)
-	route("GET /api/pipeline/stats", "pipeline_stats", s.handlePipelineStats)
-	route("GET /api/pipeline", "pipeline_stats", s.handlePipelineStats)
-	route("GET /api/metrics", "metrics", s.handleMetrics)
-	// Diagnosis triggers work; POST is the documented verb, GET is
-	// accepted for curl convenience.
-	route("POST /api/diagnose/{host}", "diagnose", s.handleDiagnose)
-	route("GET /api/diagnose/{host}", "diagnose", s.handleDiagnose)
-
-	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout,
+	for _, sf := range []surface{
+		&opsSurface{s: s, exempt: exempt},
+		&incidentSurface{src: b.Alerts},
+		&windowSurface{src: b.Windows},
+		&seriesSurface{db: b.TSDB},
+	} {
+		sf.mount(route)
+	}
+	timed := http.TimeoutHandler(mux, cfg.RequestTimeout,
 		`{"error":"request timed out"}`)
+
+	// Streaming endpoints live outside the TimeoutHandler: it buffers
+	// responses (no Flusher) and would kill every stream at the request
+	// timeout. They get the same instrumentation and admission check.
+	streamMux := http.NewServeMux()
+	(&streamSurface{s: s}).mount(func(pattern, name string, h http.HandlerFunc) {
+		streamMux.Handle(pattern, s.instrument(name, s.admit(h)))
+	})
+
+	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/stream/") {
+			streamMux.ServeHTTP(w, r)
+			return
+		}
+		timed.ServeHTTP(w, r)
+	})
 	return s
 }
 
 // Handler returns the fully wired (instrumented, timeout-bounded)
 // handler — what tests mount on httptest.Server.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// WindowStream is the hub fanning out analyzer window reports; in-process
+// readers (chaos, tests) subscribe here directly.
+func (s *Server) WindowStream() *Hub { return s.windows }
+
+// IncidentStream is the hub fanning out incident transitions.
+func (s *Server) IncidentStream() *Hub { return s.incidents }
+
+// ShedRequests reports how many requests the Admission policy refused.
+func (s *Server) ShedRequests() uint64 { return s.shed.Load() }
 
 // Check performs an in-process request through the full middleware stack
 // (instrumentation + timeout) and returns nil iff the path answered with
@@ -205,6 +269,7 @@ func (s *Server) Start() error {
 	s.httpSrv = &http.Server{
 		Handler: s.handler,
 		// Header/read bounds so a stuck client cannot pin a conn forever.
+		// No WriteTimeout: streams write for the life of the subscription.
 		ReadHeaderTimeout: s.cfg.RequestTimeout,
 		ReadTimeout:       2 * s.cfg.RequestTimeout,
 	}
@@ -229,9 +294,14 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown drains in-flight requests and closes the listener. Safe to
-// call without Start (no-op) and more than once.
+// Shutdown drains the server deterministically: it closes both stream
+// hubs first — every subscriber's Next returns false, so streaming
+// handlers finish on their own — then lets net/http drain the remaining
+// in-flight point queries. Safe to call without Start (it still closes
+// the hubs, releasing in-process subscribers) and more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.windows.Close()
+	s.incidents.Close()
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.httpSrv = nil
@@ -258,7 +328,8 @@ func (s *Server) Metrics() map[string]EndpointStats {
 	return out
 }
 
-// statusWriter captures the response code for error accounting.
+// statusWriter captures the response code for error accounting and
+// forwards Flush so SSE handlers can push frames through it.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -267,6 +338,12 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the per-endpoint counters.
@@ -304,328 +381,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// --- handlers ---
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.started).Milliseconds(),
-	}
-	if s.b.Windows != nil {
-		resp["windows"] = s.b.Windows.TotalWindows()
-	}
-	if s.b.TSDB != nil {
-		resp["series"] = len(s.b.TSDB.Series())
-	}
-	if s.b.Alerts != nil {
-		st := s.b.Alerts.Stats()
-		resp["incidents_active"] = st.ActiveCount
-	}
-	if s.b.Peers != nil {
-		fs := s.b.Peers.FedStatus()
-		resp["fed"] = map[string]any{
-			"node": fs.Node, "role": fs.Role, "leader": fs.Leader,
-			"quorum_ok": fs.QuorumOK, "applied_seq": fs.AppliedSeq,
-		}
-		if !fs.QuorumOK {
-			// The node still serves local reads, but globally confirmed
-			// incident state may be stale: fail the health check with the
-			// reason so load balancers rotate traffic to a connected node.
-			resp["status"] = "degraded"
-			resp["reason"] = fs.Reason
-			writeJSON(w, http.StatusServiceUnavailable, resp)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// transitionJSON / incidentJSON are the stable wire shapes of the
-// console API — enum values go out as strings, times as nanoseconds.
-type transitionJSON struct {
-	Type     string   `json:"type"`
-	Window   int      `json:"window"`
-	At       sim.Time `json:"at_ns"`
-	Severity string   `json:"severity"`
-}
-
-type incidentJSON struct {
-	ID          uint64           `json:"id"`
-	Entity      string           `json:"entity"`
-	Class       string           `json:"class"`
-	State       string           `json:"state"`
-	Severity    string           `json:"severity"`
-	Suppressed  bool             `json:"suppressed,omitempty"`
-	Opens       int              `json:"opens"`
-	Flaps       int              `json:"flaps"`
-	Count       int              `json:"count"`
-	Evidence    int              `json:"evidence"`
-	FirstWindow int              `json:"first_window"`
-	LastWindow  int              `json:"last_window"`
-	FirstSeen   sim.Time         `json:"first_seen_ns"`
-	LastSeen    sim.Time         `json:"last_seen_ns"`
-	ResolvedAt  sim.Time         `json:"resolved_at_ns,omitempty"`
-	AckedBy     string           `json:"acked_by,omitempty"`
-	Transitions []transitionJSON `json:"transitions"`
-}
-
-func incidentToJSON(in alert.Incident) incidentJSON {
-	out := incidentJSON{
-		ID: in.ID, Entity: in.Key.Entity, Class: in.Key.Class.String(),
-		State: in.State.String(), Severity: in.Severity.String(),
-		Suppressed: in.Suppressed, Opens: in.Opens, Flaps: in.Flaps,
-		Count: in.Count, Evidence: in.Evidence,
-		FirstWindow: in.FirstWindow, LastWindow: in.LastWindow,
-		FirstSeen: in.FirstSeen, LastSeen: in.LastSeen,
-		ResolvedAt: in.ResolvedAt, AckedBy: in.AckedBy,
-		Transitions: make([]transitionJSON, len(in.Transitions)),
-	}
-	for i, tr := range in.Transitions {
-		out.Transitions[i] = transitionJSON{
-			Type: tr.Type.String(), Window: tr.Window,
-			At: tr.At, Severity: tr.Severity.String(),
-		}
-	}
-	return out
-}
-
-func parseState(s string) (alert.State, bool) {
-	switch s {
-	case "open":
-		return alert.StateOpen, true
-	case "acked":
-		return alert.StateAcked, true
-	case "resolved":
-		return alert.StateResolved, true
-	}
-	return 0, false
-}
-
-func parseSeverity(s string) (alert.Severity, bool) {
-	switch s {
-	case "critical":
-		return alert.SevCritical, true
-	case "major":
-		return alert.SevMajor, true
-	case "minor":
-		return alert.SevMinor, true
-	}
-	return 0, false
-}
-
-func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
-	if s.b.Alerts == nil {
-		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
-		return
-	}
-	var f alert.Filter
-	q := r.URL.Query()
-	if v := q.Get("state"); v != "" {
-		st, ok := parseState(v)
-		if !ok {
-			writeErr(w, http.StatusBadRequest, "bad state %q (want open, acked or resolved)", v)
-			return
-		}
-		f.State = &st
-	}
-	if v := q.Get("severity"); v != "" {
-		sev, ok := parseSeverity(v)
-		if !ok {
-			writeErr(w, http.StatusBadRequest, "bad severity %q (want critical, major or minor)", v)
-			return
-		}
-		f.Severity = &sev
-	}
-	f.Entity = q.Get("entity")
-	f.IncludeArchived = q.Get("archived") == "true"
-
-	ins := s.b.Alerts.Incidents(f)
-	out := make([]incidentJSON, len(ins))
-	for i, in := range ins {
-		out[i] = incidentToJSON(in)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "incidents": out})
-}
-
-func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
-	if s.b.Alerts == nil {
-		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
-		return
-	}
-	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad incident id %q", r.PathValue("id"))
-		return
-	}
-	in, ok := s.b.Alerts.Incident(id)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no incident %d", id)
-		return
-	}
-	writeJSON(w, http.StatusOK, incidentToJSON(in))
-}
-
-func (s *Server) handleAlertStats(w http.ResponseWriter, r *http.Request) {
-	if s.b.Alerts == nil {
-		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
-		return
-	}
-	writeJSON(w, http.StatusOK, s.b.Alerts.Stats())
-}
-
-func (s *Server) handleWindowLatest(w http.ResponseWriter, r *http.Request) {
-	if s.b.Windows == nil {
-		writeErr(w, http.StatusServiceUnavailable, "analyzer not wired")
-		return
-	}
-	rep, ok := s.b.Windows.LastReport()
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no window has closed yet")
-		return
-	}
-	writeJSON(w, http.StatusOK, rep)
-}
-
-func (s *Server) handleWindowN(w http.ResponseWriter, r *http.Request) {
-	if s.b.Windows == nil {
-		writeErr(w, http.StatusServiceUnavailable, "analyzer not wired")
-		return
-	}
-	n, err := strconv.Atoi(r.PathValue("n"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad window number %q", r.PathValue("n"))
-		return
-	}
-	rep, ok := s.b.Windows.ReportByIndex(n)
-	if !ok {
-		writeErr(w, http.StatusNotFound,
-			"window %d not retained (retained: [%d, %d))",
-			n, s.b.Windows.FirstRetainedWindow(), s.b.Windows.TotalWindows())
-		return
-	}
-	writeJSON(w, http.StatusOK, rep)
-}
-
-func (s *Server) handleSeriesList(w http.ResponseWriter, r *http.Request) {
-	if s.b.TSDB == nil {
-		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"series": s.b.TSDB.Series()})
-}
-
-// parseRange reads from/to (ns) query params; defaults cover everything.
-func parseRange(r *http.Request) (from, to sim.Time, err error) {
-	from, to = 0, sim.Time(math.MaxInt64)
-	if v := r.URL.Query().Get("from"); v != "" {
-		n, perr := strconv.ParseInt(v, 10, 64)
-		if perr != nil {
-			return 0, 0, fmt.Errorf("bad from %q", v)
-		}
-		from = sim.Time(n)
-	}
-	if v := r.URL.Query().Get("to"); v != "" {
-		n, perr := strconv.ParseInt(v, 10, 64)
-		if perr != nil {
-			return 0, 0, fmt.Errorf("bad to %q", v)
-		}
-		to = sim.Time(n)
-	}
-	return from, to, nil
-}
-
-func (s *Server) handleSeriesRange(w http.ResponseWriter, r *http.Request) {
-	if s.b.TSDB == nil {
-		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
-		return
-	}
-	name := r.PathValue("name")
-	from, to, err := parseRange(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	points := s.b.TSDB.Range(name, from, to)
-	if points == nil {
-		if _, ok := s.b.TSDB.Latest(name); !ok {
-			writeErr(w, http.StatusNotFound, "no series %q", name)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"series": name, "count": len(points), "points": points,
-	})
-}
-
-func (s *Server) handleSeriesQuantile(w http.ResponseWriter, r *http.Request) {
-	if s.b.TSDB == nil {
-		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
-		return
-	}
-	name := r.PathValue("name")
-	from, to, err := parseRange(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	q := 0.5
-	if v := r.URL.Query().Get("q"); v != "" {
-		q, err = strconv.ParseFloat(v, 64)
-		if err != nil || q < 0 || q > 1 {
-			writeErr(w, http.StatusBadRequest, "bad quantile %q (want 0..1)", v)
-			return
-		}
-	}
-	val, errBound, ok := s.b.TSDB.QuantileWithError(name, from, to, q)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no data for %q in range", name)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"series": name, "q": q, "value": val, "error_bound": errBound,
-	})
-}
-
-func (s *Server) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
-	if s.b.Pipeline == nil {
-		writeErr(w, http.StatusServiceUnavailable, "pipeline not wired")
-		return
-	}
-	st := s.b.Pipeline.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"enqueued":          st.Enqueued,
-		"dequeued":          st.Dequeued,
-		"delivered":         st.Delivered,
-		"results_delivered": st.ResultsDelivered,
-		"dropped_oldest":    st.DroppedOldest,
-		"dropped_newest":    st.DroppedNewest,
-		"results_shed":      st.ResultsShed,
-		"block_waits":       st.BlockWaits,
-		"max_lag_ns":        int64(st.Lag.Max),
-		"queue_high_water":  st.QueueHighWater,
-		"partitions":        st.Partitions,
-	})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
-}
-
-func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	if s.b.Diagnose == nil {
-		writeErr(w, http.StatusNotImplemented, "diagnosis not wired (no watchdog on this deployment)")
-		return
-	}
-	host := r.PathValue("host")
-	out, err := s.b.Diagnose(host)
-	switch {
-	case errors.Is(err, ErrUnknownHost):
-		writeErr(w, http.StatusNotFound, "unknown host %q", host)
-	case err != nil:
-		writeErr(w, http.StatusInternalServerError, "diagnose %q: %v", host, err)
-	default:
-		writeJSON(w, http.StatusOK, map[string]any{"host": host, "diagnoses": out})
-	}
 }

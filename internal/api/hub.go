@@ -1,0 +1,401 @@
+package api
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Hub fans one ordered event stream out to many subscribers, applying
+// the ingest pipeline's overload-policy model to the read path: every
+// subscriber owns a bounded FIFO queue, a full queue sheds its oldest
+// event (the live edge always fits), shed counts are exact, and a
+// subscriber that has shed past the eviction threshold is evicted
+// deterministically at that publish. Publish never blocks — the only
+// waiters are subscribers, never the producer — so a stalled SSE client
+// can never back-pressure the analyzer window loop.
+//
+// The conservation law mirrors pipeline.AccountingError: for every
+// subscriber, at any instant,
+//
+//	published = delivered + shed + queued
+//
+// where published counts events offered since that subscriber joined.
+// The chaos suite's eighth invariant sweeps this every analysis window
+// over live and evicted subscribers alike.
+type Hub struct {
+	cfg HubConfig
+
+	mu      sync.Mutex
+	subs    []*Subscriber // publish order = subscribe order
+	nextID  uint64
+	seq     uint64 // last published event seq (first event is 1)
+	closed  bool
+	replay  []StreamEvent // ring of recent events for long-poll ?since=
+	rHead   int           // index of oldest replay entry
+	rCount  int
+	evicted []SubscriberStats // final stats of evicted subscribers (bounded)
+
+	// Hub-lifetime aggregates, including subscribers that have left.
+	published, delivered, shedTotal, evictions uint64
+}
+
+// HubConfig tunes the fan-out; zero values take the defaults.
+type HubConfig struct {
+	// QueueCap bounds each subscriber's queue (default 64).
+	QueueCap int
+	// EvictShed evicts a subscriber once it has shed this many events —
+	// a reader that far behind is treated as dead (default 1024).
+	EvictShed int
+	// Replay bounds the ring of recent events kept for long-poll
+	// catch-up via ?since=seq (default 256).
+	Replay int
+}
+
+func (c *HubConfig) setDefaults() {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.EvictShed <= 0 {
+		c.EvictShed = 1024
+	}
+	if c.Replay <= 0 {
+		c.Replay = 256
+	}
+}
+
+// StreamEvent is one fan-out event. Data is marshaled once at Publish,
+// not per subscriber.
+type StreamEvent struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// SubscriberStats is one subscriber's exact accounting snapshot.
+type SubscriberStats struct {
+	ID        uint64 `json:"id"`
+	Name      string `json:"name"`
+	Published uint64 `json:"published"` // events offered since subscribe
+	Delivered uint64 `json:"delivered"`
+	Shed      uint64 `json:"shed"`
+	Queued    int    `json:"queued"`
+	Evicted   bool   `json:"evicted,omitempty"`
+}
+
+// HubStats is a hub-wide snapshot.
+type HubStats struct {
+	Subscribers int               `json:"subscribers"`
+	Seq         uint64            `json:"seq"`
+	Published   uint64            `json:"published"` // Σ per-subscriber offers, hub lifetime
+	Delivered   uint64            `json:"delivered"`
+	Shed        uint64            `json:"shed"`
+	Evictions   uint64            `json:"evictions"`
+	QueueCap    int               `json:"queue_cap"`
+	Subs        []SubscriberStats `json:"subs,omitempty"`
+	Departed    []SubscriberStats `json:"departed,omitempty"`
+}
+
+// Subscriber is one reader's bounded queue on a Hub.
+type Subscriber struct {
+	hub  *Hub
+	id   uint64
+	name string
+
+	mu     sync.Mutex
+	q      []StreamEvent // ring, len == cap == QueueCap
+	head   int
+	count  int
+	wake   chan struct{} // cap 1: publish edge-triggers waiting readers
+	closed bool
+
+	published, delivered, shed uint64
+	evicted                    bool
+}
+
+// NewHub builds an empty hub.
+func NewHub(cfg HubConfig) *Hub {
+	cfg.setDefaults()
+	return &Hub{cfg: cfg, replay: make([]StreamEvent, cfg.Replay)}
+}
+
+// Subscribe registers a reader. name labels it in stats (remote addr,
+// "chaos-stalled-3", ...). Returns nil once the hub is closed.
+func (h *Hub) Subscribe(name string) *Subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.nextID++
+	sub := &Subscriber{
+		hub:  h,
+		id:   h.nextID,
+		name: name,
+		q:    make([]StreamEvent, h.cfg.QueueCap),
+		wake: make(chan struct{}, 1),
+	}
+	h.subs = append(h.subs, sub)
+	return sub
+}
+
+// Publish marshals data once and offers the event to every subscriber in
+// subscribe order. It never blocks: full queues shed their oldest entry,
+// and subscribers past the shed threshold are evicted inline. Returns
+// the event's seq (0 if the hub is closed or marshaling fails).
+func (h *Hub) Publish(kind string, data any) uint64 {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		raw, _ = json.Marshal(map[string]string{"error": err.Error()})
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0
+	}
+	h.seq++
+	ev := StreamEvent{Seq: h.seq, Kind: kind, Data: raw}
+
+	// Replay ring for long-poll catch-up.
+	if h.rCount == len(h.replay) {
+		h.replay[h.rHead] = ev
+		h.rHead = (h.rHead + 1) % len(h.replay)
+	} else {
+		h.replay[(h.rHead+h.rCount)%len(h.replay)] = ev
+		h.rCount++
+	}
+
+	anyEvicted := false
+	for _, sub := range h.subs {
+		if h.offer(sub, ev) {
+			anyEvicted = true
+		}
+	}
+	if anyEvicted {
+		keep := h.subs[:0]
+		for _, sub := range h.subs {
+			if !sub.isEvicted() {
+				keep = append(keep, sub)
+			}
+		}
+		h.subs = keep
+	}
+	return ev.Seq
+}
+
+// offer appends ev to sub's queue under sub.mu, shedding the oldest
+// entry when full; reports true when this offer crossed the eviction
+// threshold. Lock order is always hub.mu → sub.mu.
+func (h *Hub) offer(sub *Subscriber, ev StreamEvent) bool {
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return sub.evicted
+	}
+	sub.published++
+	h.published++
+	if sub.count == len(sub.q) {
+		// Bounded queue: shed the oldest so the live edge always lands.
+		sub.head = (sub.head + 1) % len(sub.q)
+		sub.count--
+		sub.shed++
+		h.shedTotal++
+	}
+	sub.q[(sub.head+sub.count)%len(sub.q)] = ev
+	sub.count++
+	evict := sub.shed >= uint64(h.cfg.EvictShed)
+	if evict {
+		sub.evicted = true
+		sub.closed = true
+		h.evictions++
+		h.recordDeparture(sub.statsLocked())
+	}
+	sub.mu.Unlock()
+	sub.signal()
+	return evict
+}
+
+// recordDeparture keeps the final accounting of a departed subscriber so
+// invariant sweeps can still audit it; bounded to the last 256.
+func (h *Hub) recordDeparture(st SubscriberStats) {
+	h.delivered += st.Delivered
+	if len(h.evicted) >= 256 {
+		copy(h.evicted, h.evicted[1:])
+		h.evicted = h.evicted[:len(h.evicted)-1]
+	}
+	h.evicted = append(h.evicted, st)
+}
+
+// ReplaySince returns the retained events with seq > since, oldest
+// first, plus the oldest retained seq (0 when nothing is retained) so
+// callers can detect gaps.
+func (h *Hub) ReplaySince(since uint64) (evs []StreamEvent, oldest uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 0; i < h.rCount; i++ {
+		ev := h.replay[(h.rHead+i)%len(h.replay)]
+		if i == 0 {
+			oldest = ev.Seq
+		}
+		if ev.Seq > since {
+			evs = append(evs, ev)
+		}
+	}
+	return evs, oldest
+}
+
+// Seq returns the last published event's sequence number.
+func (h *Hub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Close shuts the hub: every subscriber's Next returns false, future
+// Subscribes return nil, future Publishes are dropped. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := h.subs
+	h.subs = nil
+	h.mu.Unlock()
+	for _, sub := range subs {
+		sub.closeRecorded()
+	}
+}
+
+// Stats snapshots the hub and every live subscriber, plus the final
+// accounting of departed ones.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HubStats{
+		Subscribers: len(h.subs),
+		Seq:         h.seq,
+		Published:   h.published,
+		Shed:        h.shedTotal,
+		Evictions:   h.evictions,
+		QueueCap:    h.cfg.QueueCap,
+		Departed:    append([]SubscriberStats(nil), h.evicted...),
+	}
+	st.Delivered = h.delivered
+	for _, sub := range h.subs {
+		ss := sub.Stats()
+		st.Subs = append(st.Subs, ss)
+		st.Delivered += ss.Delivered
+	}
+	return st
+}
+
+// --- Subscriber ---
+
+// Next blocks until an event is queued, then returns it in publish
+// order. ok is false when the subscriber is closed/evicted (after the
+// queue is drained) or done fires. done may be nil.
+func (sub *Subscriber) Next(done <-chan struct{}) (StreamEvent, bool) {
+	for {
+		if ev, ok, again := sub.pop(); !again {
+			return ev, ok
+		}
+		select {
+		case <-sub.wake:
+		case <-done:
+			return StreamEvent{}, false
+		}
+	}
+}
+
+// TryNext returns the next queued event without blocking; ok is false
+// when the queue is momentarily empty (deterministic in-process readers
+// drain with this).
+func (sub *Subscriber) TryNext() (StreamEvent, bool) {
+	ev, ok, _ := sub.pop()
+	return ev, ok
+}
+
+// pop dequeues one event. again=true means "empty but still open".
+func (sub *Subscriber) pop() (ev StreamEvent, ok, again bool) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.count > 0 {
+		ev = sub.q[sub.head]
+		sub.q[sub.head] = StreamEvent{}
+		sub.head = (sub.head + 1) % len(sub.q)
+		sub.count--
+		sub.delivered++
+		return ev, true, false
+	}
+	if sub.closed {
+		return StreamEvent{}, false, false
+	}
+	return StreamEvent{}, false, true
+}
+
+// signal wakes a blocked Next (edge-triggered, never blocks).
+func (sub *Subscriber) signal() {
+	select {
+	case sub.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close detaches the subscriber from the hub; pending events are
+// dropped from the accounting as still-queued at departure. Idempotent.
+func (sub *Subscriber) Close() {
+	h := sub.hub
+	h.mu.Lock()
+	for i, s := range h.subs {
+		if s == sub {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	sub.closeRecorded()
+}
+
+// closeRecorded marks the subscriber closed and records its final stats
+// on the hub (unless it already departed, which recorded them). Called
+// with hub.mu NOT held.
+func (sub *Subscriber) closeRecorded() {
+	sub.mu.Lock()
+	already := sub.closed
+	sub.closed = true
+	st := sub.statsLocked()
+	sub.mu.Unlock()
+	sub.signal()
+	if already {
+		return
+	}
+	h := sub.hub
+	h.mu.Lock()
+	h.recordDeparture(st)
+	h.mu.Unlock()
+}
+
+func (sub *Subscriber) isEvicted() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.evicted
+}
+
+func (sub *Subscriber) statsLocked() SubscriberStats {
+	return SubscriberStats{
+		ID: sub.id, Name: sub.name,
+		Published: sub.published, Delivered: sub.delivered,
+		Shed: sub.shed, Queued: sub.count, Evicted: sub.evicted,
+	}
+}
+
+// Stats snapshots the subscriber's exact accounting.
+func (sub *Subscriber) Stats() SubscriberStats {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.statsLocked()
+}
+
+// ID returns the subscriber's hub-unique id.
+func (sub *Subscriber) ID() uint64 { return sub.id }

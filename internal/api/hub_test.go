@@ -1,0 +1,206 @@
+package api
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestHubDeterministicShedAndEviction pins the hub's overload behavior
+// exactly: K subscribers, one of them stalled, QueueCap 8, EvictShed 32,
+// 100 publishes. The stalled reader must be evicted precisely at publish
+// #40 (8 queued + 32 shed) with exact counters, the publisher must never
+// block on it, and the other K−1 readers must see every event in order.
+func TestHubDeterministicShedAndEviction(t *testing.T) {
+	const (
+		k        = 5
+		queueCap = 8
+		evict    = 32
+		events   = 100
+	)
+	hub := NewHub(HubConfig{QueueCap: queueCap, EvictShed: evict, Replay: 256})
+
+	stalled := hub.Subscribe("stalled")
+	live := make([]*Subscriber, k-1)
+	for i := range live {
+		live[i] = hub.Subscribe(fmt.Sprintf("live-%d", i))
+	}
+
+	seen := make([]uint64, len(live))
+	for n := 1; n <= events; n++ {
+		if seq := hub.Publish("e", n); seq != uint64(n) {
+			t.Fatalf("publish %d returned seq %d", n, seq)
+		}
+		for i, sub := range live {
+			ev, ok := sub.TryNext()
+			if !ok {
+				t.Fatalf("live[%d] missed event %d", i, n)
+			}
+			if ev.Seq != seen[i]+1 {
+				t.Fatalf("live[%d] got seq %d after %d", i, ev.Seq, seen[i])
+			}
+			seen[i] = ev.Seq
+			if _, ok := sub.TryNext(); ok {
+				t.Fatalf("live[%d] had more than one event queued", i)
+			}
+		}
+	}
+	for i, s := range seen {
+		if s != events {
+			t.Fatalf("live[%d] saw %d events, want %d", i, s, events)
+		}
+	}
+
+	// Stalled reader: evicted at publish #40 — 8 queued, then 32 sheds.
+	st := stalled.Stats()
+	if !st.Evicted {
+		t.Fatal("stalled subscriber not evicted")
+	}
+	wantPub := uint64(queueCap + evict) // offers before eviction = 40
+	if st.Published != wantPub || st.Delivered != 0 || st.Shed != evict || st.Queued != queueCap {
+		t.Fatalf("stalled stats = %+v, want published=%d delivered=0 shed=%d queued=%d",
+			st, wantPub, evict, queueCap)
+	}
+	if st.Published != st.Delivered+st.Shed+uint64(st.Queued) {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+
+	// The hub recorded the departure with the same final accounting.
+	hs := hub.Stats()
+	if hs.Evictions != 1 || hs.Subscribers != k-1 {
+		t.Fatalf("hub stats = %+v, want 1 eviction, %d live subs", hs, k-1)
+	}
+	if len(hs.Departed) != 1 || hs.Departed[0].ID != stalled.ID() || hs.Departed[0].Shed != evict {
+		t.Fatalf("departed record = %+v", hs.Departed)
+	}
+	// Aggregates: 40 offers to the stalled reader + 100 to each live one.
+	if want := wantPub + uint64((k-1)*events); hs.Published != want {
+		t.Fatalf("hub published = %d, want %d", hs.Published, want)
+	}
+	if want := uint64((k - 1) * events); hs.Delivered != want {
+		t.Fatalf("hub delivered = %d, want %d", hs.Delivered, want)
+	}
+	if hs.Shed != evict {
+		t.Fatalf("hub shed = %d, want %d", hs.Shed, evict)
+	}
+
+	// The evicted reader still drains its queued tail — the 8 newest
+	// events at eviction time, seqs 33..40 — then sees closed.
+	for want := uint64(events - queueCap - (events - wantPub)); ; {
+		ev, ok := stalled.Next(nil)
+		if !ok {
+			break
+		}
+		want++
+		if ev.Seq != want {
+			t.Fatalf("stalled tail seq = %d, want %d", ev.Seq, want)
+		}
+		if ev.Seq > wantPub {
+			t.Fatalf("stalled received seq %d published after its eviction", ev.Seq)
+		}
+	}
+}
+
+// TestHubReplaySince pins the long-poll catch-up ring: bounded retention,
+// oldest-retained reporting for gap detection.
+func TestHubReplaySince(t *testing.T) {
+	hub := NewHub(HubConfig{Replay: 4})
+	for n := 1; n <= 10; n++ {
+		hub.Publish("e", n)
+	}
+	evs, oldest := hub.ReplaySince(0)
+	if oldest != 7 || len(evs) != 4 || evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("ReplaySince(0) = %d events, oldest %d", len(evs), oldest)
+	}
+	evs, _ = hub.ReplaySince(8)
+	if len(evs) != 2 || evs[0].Seq != 9 {
+		t.Fatalf("ReplaySince(8) = %+v", evs)
+	}
+	if evs, _ := hub.ReplaySince(10); len(evs) != 0 {
+		t.Fatalf("ReplaySince(10) = %+v, want empty", evs)
+	}
+	if hub.Seq() != 10 {
+		t.Fatalf("Seq = %d", hub.Seq())
+	}
+}
+
+// TestHubCloseUnblocksSubscribers: Close wakes every parked Next with
+// ok=false and makes future Subscribe/Publish no-ops — the deterministic
+// Shutdown drain the streaming handlers rely on.
+func TestHubCloseUnblocksSubscribers(t *testing.T) {
+	hub := NewHub(HubConfig{})
+	sub := hub.Subscribe("parked")
+	unblocked := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(nil)
+		unblocked <- ok
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next park
+	hub.Close()
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Fatal("Next returned an event after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still parked after Close")
+	}
+	if hub.Subscribe("late") != nil {
+		t.Fatal("Subscribe succeeded on a closed hub")
+	}
+	if hub.Publish("e", 1) != 0 {
+		t.Fatal("Publish succeeded on a closed hub")
+	}
+	hub.Close() // idempotent
+}
+
+// TestHubSubscriberCloseConservation: a reader that leaves voluntarily
+// still satisfies published = delivered + shed + queued in its departed
+// record.
+func TestHubSubscriberCloseConservation(t *testing.T) {
+	hub := NewHub(HubConfig{QueueCap: 4})
+	sub := hub.Subscribe("leaver")
+	for n := 1; n <= 10; n++ {
+		hub.Publish("e", n)
+	}
+	if ev, ok := sub.TryNext(); !ok || ev.Seq != 7 {
+		// QueueCap 4: seqs 7..10 remain, 1..6 shed.
+		t.Fatalf("TryNext = %+v, %v (want seq 7)", ev, ok)
+	}
+	sub.Close()
+	hs := hub.Stats()
+	if len(hs.Departed) != 1 {
+		t.Fatalf("departed = %+v", hs.Departed)
+	}
+	d := hs.Departed[0]
+	if d.Published != 10 || d.Delivered != 1 || d.Shed != 6 || d.Queued != 3 {
+		t.Fatalf("departed stats = %+v", d)
+	}
+	if d.Published != d.Delivered+d.Shed+uint64(d.Queued) {
+		t.Fatalf("conservation violated: %+v", d)
+	}
+}
+
+// BenchmarkStreamFanout measures one publish fanned out to 64 drained
+// subscribers — the per-window cost of the streaming tier.
+func BenchmarkStreamFanout(b *testing.B) {
+	hub := NewHub(HubConfig{QueueCap: 64, EvictShed: 1 << 30})
+	const subs = 64
+	ss := make([]*Subscriber, subs)
+	for i := range ss {
+		ss[i] = hub.Subscribe(fmt.Sprintf("bench-%d", i))
+	}
+	payload := map[string]any{"window": 1, "probes": 12345}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Publish("window", payload)
+		for _, sub := range ss {
+			for {
+				if _, ok := sub.TryNext(); !ok {
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+
+	"rpingmesh/internal/alert"
+	"rpingmesh/internal/sim"
+)
+
+// IncidentSource is the incident sub-surface's narrow backend;
+// *alert.Engine implements it.
+type IncidentSource interface {
+	Incidents(f alert.Filter) []alert.Incident
+	Incident(id uint64) (alert.Incident, bool)
+	Stats() alert.Stats
+}
+
+// incidentSurface serves /api/incidents, /api/incidents/{id} and
+// /api/alerts/stats.
+type incidentSurface struct {
+	src IncidentSource
+}
+
+func (is *incidentSurface) mount(route func(pattern, name string, h http.HandlerFunc)) {
+	route("GET /api/incidents", "incidents", is.handleIncidents)
+	route("GET /api/incidents/{id}", "incident", is.handleIncident)
+	route("GET /api/alerts/stats", "alerts_stats", is.handleAlertStats)
+}
+
+// transitionJSON / incidentJSON are the stable wire shapes of the
+// console API — enum values go out as strings, times as nanoseconds.
+type transitionJSON struct {
+	Type     string   `json:"type"`
+	Window   int      `json:"window"`
+	At       sim.Time `json:"at_ns"`
+	Severity string   `json:"severity"`
+}
+
+type incidentJSON struct {
+	ID          uint64           `json:"id"`
+	Entity      string           `json:"entity"`
+	Class       string           `json:"class"`
+	State       string           `json:"state"`
+	Severity    string           `json:"severity"`
+	Suppressed  bool             `json:"suppressed,omitempty"`
+	Opens       int              `json:"opens"`
+	Flaps       int              `json:"flaps"`
+	Count       int              `json:"count"`
+	Evidence    int              `json:"evidence"`
+	FirstWindow int              `json:"first_window"`
+	LastWindow  int              `json:"last_window"`
+	FirstSeen   sim.Time         `json:"first_seen_ns"`
+	LastSeen    sim.Time         `json:"last_seen_ns"`
+	ResolvedAt  sim.Time         `json:"resolved_at_ns,omitempty"`
+	AckedBy     string           `json:"acked_by,omitempty"`
+	Transitions []transitionJSON `json:"transitions"`
+}
+
+func incidentToJSON(in alert.Incident) incidentJSON {
+	out := incidentJSON{
+		ID: in.ID, Entity: in.Key.Entity, Class: in.Key.Class.String(),
+		State: in.State.String(), Severity: in.Severity.String(),
+		Suppressed: in.Suppressed, Opens: in.Opens, Flaps: in.Flaps,
+		Count: in.Count, Evidence: in.Evidence,
+		FirstWindow: in.FirstWindow, LastWindow: in.LastWindow,
+		FirstSeen: in.FirstSeen, LastSeen: in.LastSeen,
+		ResolvedAt: in.ResolvedAt, AckedBy: in.AckedBy,
+		Transitions: make([]transitionJSON, len(in.Transitions)),
+	}
+	for i, tr := range in.Transitions {
+		out.Transitions[i] = transitionJSON{
+			Type: tr.Type.String(), Window: tr.Window,
+			At: tr.At, Severity: tr.Severity.String(),
+		}
+	}
+	return out
+}
+
+func parseState(s string) (alert.State, bool) {
+	switch s {
+	case "open":
+		return alert.StateOpen, true
+	case "acked":
+		return alert.StateAcked, true
+	case "resolved":
+		return alert.StateResolved, true
+	}
+	return 0, false
+}
+
+func parseSeverity(s string) (alert.Severity, bool) {
+	switch s {
+	case "critical":
+		return alert.SevCritical, true
+	case "major":
+		return alert.SevMajor, true
+	case "minor":
+		return alert.SevMinor, true
+	}
+	return 0, false
+}
+
+func (is *incidentSurface) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if is.src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
+		return
+	}
+	var f alert.Filter
+	q := r.URL.Query()
+	if v := q.Get("state"); v != "" {
+		st, ok := parseState(v)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "bad state %q (want open, acked or resolved)", v)
+			return
+		}
+		f.State = &st
+	}
+	if v := q.Get("severity"); v != "" {
+		sev, ok := parseSeverity(v)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "bad severity %q (want critical, major or minor)", v)
+			return
+		}
+		f.Severity = &sev
+	}
+	f.Entity = q.Get("entity")
+	f.IncludeArchived = q.Get("archived") == "true"
+
+	ins := is.src.Incidents(f)
+	out := make([]incidentJSON, len(ins))
+	for i, in := range ins {
+		out[i] = incidentToJSON(in)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "incidents": out})
+}
+
+func (is *incidentSurface) handleIncident(w http.ResponseWriter, r *http.Request) {
+	if is.src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad incident id %q", r.PathValue("id"))
+		return
+	}
+	in, ok := is.src.Incident(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no incident %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, incidentToJSON(in))
+}
+
+func (is *incidentSurface) handleAlertStats(w http.ResponseWriter, r *http.Request) {
+	if is.src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "alerting not wired")
+		return
+	}
+	writeJSON(w, http.StatusOK, is.src.Stats())
+}

@@ -1,0 +1,129 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"rpingmesh/internal/controller"
+)
+
+// TenantSource reports the controller's per-tenant probe-budget grants;
+// *controller.Controller implements it when tenants are configured.
+type TenantSource interface {
+	TenantGrants() []controller.TenantGrant
+}
+
+// opsSurface serves the operational endpoints: health, pipeline drop
+// accounting, endpoint metrics, tenant budgets, federation peers and
+// on-demand diagnosis. Health and metrics are exempt from admission
+// control — they must answer precisely when the system is overloaded.
+type opsSurface struct {
+	s      *Server
+	exempt func(pattern, name string, h http.HandlerFunc)
+}
+
+func (os *opsSurface) mount(route func(pattern, name string, h http.HandlerFunc)) {
+	os.exempt("GET /healthz", "healthz", os.handleHealthz)
+	os.exempt("GET /api/metrics", "metrics", os.handleMetrics)
+	os.exempt("GET /api/peers", "peers", os.s.handlePeers)
+	route("GET /api/tenants", "tenants", os.handleTenants)
+	route("GET /api/pipeline/stats", "pipeline_stats", os.handlePipelineStats)
+	route("GET /api/pipeline", "pipeline_stats", os.handlePipelineStats)
+	// Diagnosis triggers work; POST is the documented verb, GET is
+	// accepted for curl convenience.
+	route("POST /api/diagnose/{host}", "diagnose", os.handleDiagnose)
+	route("GET /api/diagnose/{host}", "diagnose", os.handleDiagnose)
+}
+
+func (os *opsSurface) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s := os.s
+	resp := map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	}
+	if s.b.Windows != nil {
+		resp["windows"] = s.b.Windows.TotalWindows()
+	}
+	if s.b.TSDB != nil {
+		resp["series"] = len(s.b.TSDB.Series())
+	}
+	if s.b.Alerts != nil {
+		st := s.b.Alerts.Stats()
+		resp["incidents_active"] = st.ActiveCount
+	}
+	if s.b.Admission != nil {
+		resp["shed_requests"] = s.shed.Load()
+	}
+	if subs := s.windows.Stats().Subscribers + s.incidents.Stats().Subscribers; subs > 0 {
+		resp["stream_subscribers"] = subs
+	}
+	if s.b.Peers != nil {
+		fs := s.b.Peers.FedStatus()
+		resp["fed"] = map[string]any{
+			"node": fs.Node, "role": fs.Role, "leader": fs.Leader,
+			"quorum_ok": fs.QuorumOK, "applied_seq": fs.AppliedSeq,
+		}
+		if !fs.QuorumOK {
+			// The node still serves local reads, but globally confirmed
+			// incident state may be stale: fail the health check with the
+			// reason so load balancers rotate traffic to a connected node.
+			resp["status"] = "degraded"
+			resp["reason"] = fs.Reason
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (os *opsSurface) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if os.s.b.Tenants == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tenant scheduling not wired")
+		return
+	}
+	grants := os.s.b.Tenants.TenantGrants()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(grants), "tenants": grants})
+}
+
+func (os *opsSurface) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
+	if os.s.b.Pipeline == nil {
+		writeErr(w, http.StatusServiceUnavailable, "pipeline not wired")
+		return
+	}
+	st := os.s.b.Pipeline.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enqueued":          st.Enqueued,
+		"dequeued":          st.Dequeued,
+		"delivered":         st.Delivered,
+		"results_delivered": st.ResultsDelivered,
+		"dropped_oldest":    st.DroppedOldest,
+		"dropped_newest":    st.DroppedNewest,
+		"results_shed":      st.ResultsShed,
+		"block_waits":       st.BlockWaits,
+		"max_lag_ns":        int64(st.Lag.Max),
+		"queue_high_water":  st.QueueHighWater,
+		"partitions":        st.Partitions,
+	})
+}
+
+func (os *opsSurface) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, os.s.Metrics())
+}
+
+func (os *opsSurface) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if os.s.b.Diagnose == nil {
+		writeErr(w, http.StatusNotImplemented, "diagnosis not wired (no watchdog on this deployment)")
+		return
+	}
+	host := r.PathValue("host")
+	out, err := os.s.b.Diagnose(host)
+	switch {
+	case errors.Is(err, ErrUnknownHost):
+		writeErr(w, http.StatusNotFound, "unknown host %q", host)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "diagnose %q: %v", host, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"host": host, "diagnoses": out})
+	}
+}

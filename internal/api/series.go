@@ -1,0 +1,103 @@
+package api
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"rpingmesh/internal/sim"
+)
+
+// seriesSurface serves tsdb queries: /api/series, /api/series/{name}/
+// range and /api/series/{name}/quantile. Wire a *tsdb.Follower here to
+// keep heavy readers off the ingest path.
+type seriesSurface struct {
+	db SeriesStore
+}
+
+func (ss *seriesSurface) mount(route func(pattern, name string, h http.HandlerFunc)) {
+	route("GET /api/series", "series_list", ss.handleList)
+	route("GET /api/series/{name}/range", "series_range", ss.handleRange)
+	route("GET /api/series/{name}/quantile", "series_quantile", ss.handleQuantile)
+}
+
+func (ss *seriesSurface) handleList(w http.ResponseWriter, r *http.Request) {
+	if ss.db == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"series": ss.db.Series()})
+}
+
+// parseRange reads from/to (ns) query params; defaults cover everything.
+func parseRange(r *http.Request) (from, to sim.Time, err error) {
+	from, to = 0, sim.Time(math.MaxInt64)
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad from %q", v)
+		}
+		from = sim.Time(n)
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("bad to %q", v)
+		}
+		to = sim.Time(n)
+	}
+	return from, to, nil
+}
+
+func (ss *seriesSurface) handleRange(w http.ResponseWriter, r *http.Request) {
+	if ss.db == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
+		return
+	}
+	name := r.PathValue("name")
+	from, to, err := parseRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	points := ss.db.Range(name, from, to)
+	if points == nil {
+		if _, ok := ss.db.Latest(name); !ok {
+			writeErr(w, http.StatusNotFound, "no series %q", name)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"series": name, "count": len(points), "points": points,
+	})
+}
+
+func (ss *seriesSurface) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	if ss.db == nil {
+		writeErr(w, http.StatusServiceUnavailable, "tsdb not wired")
+		return
+	}
+	name := r.PathValue("name")
+	from, to, err := parseRange(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := 0.5
+	if v := r.URL.Query().Get("q"); v != "" {
+		q, err = strconv.ParseFloat(v, 64)
+		if err != nil || q < 0 || q > 1 {
+			writeErr(w, http.StatusBadRequest, "bad quantile %q (want 0..1)", v)
+			return
+		}
+	}
+	val, errBound, ok := ss.db.QuantileWithError(name, from, to, q)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no data for %q in range", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"series": name, "q": q, "value": val, "error_bound": errBound,
+	})
+}

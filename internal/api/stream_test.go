@@ -1,0 +1,250 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/topo"
+)
+
+// sseLine reads frames until one "data: ..." line arrives.
+func sseData(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	t.Fatal("no SSE data frame within deadline")
+	return ""
+}
+
+// TestSSEStreamAndShutdownDrain: a real SSE client over a live listener
+// receives published windows, and Shutdown closes the hubs first so the
+// stream ends deterministically (EOF) and no handler goroutine leaks.
+func TestSSEStreamAndShutdownDrain(t *testing.T) {
+	b, fw, _, _ := testBackend(t)
+	s := New(b, Config{Addr: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	resp, err := http.Get("http://" + s.Addr() + "/api/stream/windows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	rd := bufio.NewReader(resp.Body)
+
+	rep := report(2)
+	rep.Cluster.Probes = 77
+	s.PublishWindow(rep)
+	var got windowStreamJSON
+	if err := json.Unmarshal([]byte(sseData(t, rd)), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != 2 || got.Probes != 77 {
+		t.Fatalf("stream payload = %+v", got)
+	}
+	_ = fw
+
+	// Shutdown must end the stream (hub close → handler return → EOF) and
+	// return without hanging on the live streaming connection.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	if _, err := rd.ReadString('\n'); err == nil {
+		// Drain to EOF; a few blank/frame lines may still be buffered.
+		for {
+			if _, err := rd.ReadString('\n'); err != nil {
+				break
+			}
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines %d > baseline %d after Shutdown", runtime.NumGoroutine(), base)
+}
+
+// TestIncidentStreamNotifier: alert events published through the
+// AlertNotifier arrive on /api/stream/incidents subscribers.
+func TestIncidentStreamNotifier(t *testing.T) {
+	b, _, eng, _ := testBackend(t)
+	s := New(b, Config{})
+	eng.AddNotifier(s.AlertNotifier())
+	sub := s.IncidentStream().Subscribe("test")
+
+	// A fresh P0 problem opens an incident → one transition event.
+	eng.Observe(report(5, analyzer.Problem{
+		Kind: analyzer.ProblemRNIC, Priority: analyzer.P0,
+		Device: topo.DeviceID("r9"), Host: topo.HostID("h9"), Evidence: 9,
+	}))
+	ev, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("no incident event published")
+	}
+	var got incidentStreamJSON
+	if err := json.Unmarshal(ev.Data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != 5 || got.Incident.Entity == "" {
+		t.Fatalf("incident stream payload = %+v", got)
+	}
+}
+
+// TestLongPollReplayAndPark: ?since= answers retained events
+// immediately, parks until the next publish otherwise, and reports the
+// oldest retained seq so clients can detect gaps.
+func TestLongPollReplayAndPark(t *testing.T) {
+	b, _, _, _ := testBackend(t)
+	s := New(b, Config{Stream: HubConfig{Replay: 4}})
+
+	for i := 0; i < 10; i++ {
+		s.PublishWindow(report(i))
+	}
+	// Replay path: ring holds seqs 7..10; since=1 exposes the gap.
+	code, body := get(t, s.Handler(), "/api/stream/windows?since=1&wait_ms=0")
+	if code != http.StatusOK {
+		t.Fatalf("long-poll status = %d", code)
+	}
+	if n := body["count"].(float64); n != 4 {
+		t.Fatalf("count = %v, want 4", n)
+	}
+	if next := body["next_since"].(float64); next != 10 {
+		t.Fatalf("next_since = %v, want 10", next)
+	}
+	if oldest := body["oldest_retained"].(float64); oldest != 7 {
+		t.Fatalf("oldest_retained = %v, want 7", oldest)
+	}
+
+	// Park path: nothing after seq 10 yet; a publish 30 ms in wakes it.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		s.PublishWindow(report(10))
+	}()
+	code, body = get(t, s.Handler(), "/api/stream/windows?since=10&wait_ms=2000")
+	if code != http.StatusOK || body["count"].(float64) != 1 {
+		t.Fatalf("parked poll = %d %+v", code, body)
+	}
+	if next := body["next_since"].(float64); next != 11 {
+		t.Fatalf("parked next_since = %v, want 11", next)
+	}
+
+	// Timeout path: no publish, short wait → empty answer, not a hang.
+	code, body = get(t, s.Handler(), "/api/stream/windows?since=11&wait_ms=10")
+	if code != http.StatusOK || body["count"].(float64) != 0 {
+		t.Fatalf("timeout poll = %d %+v", code, body)
+	}
+
+	if _, body = get(t, s.Handler(), "/api/stream/windows?since=bogus"); body["error"] == nil {
+		t.Fatal("bad since accepted")
+	}
+}
+
+type fakeLoad struct{ f float64 }
+
+func (l fakeLoad) QueueFraction() float64 { return l.f }
+
+type fakeLag struct{ n uint64 }
+
+func (l fakeLag) Lag() uint64 { return l.n }
+
+// TestAdmissionSheds429: sheddable endpoints answer 429 + Retry-After
+// while the pipeline is near overflow or the follower lags; /healthz and
+// /api/metrics always answer.
+func TestAdmissionSheds429(t *testing.T) {
+	b, _, _, _ := testBackend(t)
+	b.Admission = &Admission{Pipeline: fakeLoad{0.95}}
+	s := New(b, Config{})
+
+	req := httptest.NewRequest(http.MethodGet, "/api/incidents", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded /api/incidents = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want 1", ra)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["retry_after_ms"].(float64) != 1000 {
+		t.Fatalf("retry_after_ms = %v", body["retry_after_ms"])
+	}
+
+	// Streaming endpoints shed too.
+	if err := s.Check("/api/stream/windows?since=0&wait_ms=0", http.StatusTooManyRequests); err != nil {
+		t.Fatal(err)
+	}
+	// Health and metrics are exempt.
+	if err := s.Check("/healthz", http.StatusOK); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check("/api/metrics", http.StatusOK); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ShedRequests(); n != 2 {
+		t.Fatalf("ShedRequests = %d, want 2", n)
+	}
+	// Healthz reports the shed counter when admission is wired.
+	if _, body := get(t, s.Handler(), "/healthz"); body["shed_requests"].(float64) != 2 {
+		t.Fatalf("healthz shed_requests = %v", body["shed_requests"])
+	}
+
+	// Follower lag sheds the same way.
+	b2, _, _, _ := testBackend(t)
+	b2.Admission = &Admission{Follower: fakeLag{1 << 20}}
+	s2 := New(b2, Config{})
+	if err := s2.Check("/api/series", http.StatusTooManyRequests); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy backend admits everything.
+	b3, _, _, _ := testBackend(t)
+	b3.Admission = &Admission{Pipeline: fakeLoad{0.1}, Follower: fakeLag{3}}
+	s3 := New(b3, Config{})
+	if err := s3.Check("/api/incidents", http.StatusOK); err != nil {
+		t.Fatal(err)
+	}
+	if n := s3.ShedRequests(); n != 0 {
+		t.Fatalf("healthy ShedRequests = %d", n)
+	}
+}
+
+// TestTenantsEndpoint: wired → grants; unwired → 503.
+func TestTenantsEndpoint(t *testing.T) {
+	b, _, _, _ := testBackend(t)
+	s := New(b, Config{})
+	if code, _ := get(t, s.Handler(), "/api/tenants"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unwired /api/tenants = %d, want 503", code)
+	}
+}

@@ -1,0 +1,50 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// windowSurface serves per-window analyzer reports: /api/windows/latest
+// and /api/windows/{n}.
+type windowSurface struct {
+	src WindowSource
+}
+
+func (ws *windowSurface) mount(route func(pattern, name string, h http.HandlerFunc)) {
+	route("GET /api/windows/latest", "windows_latest", ws.handleLatest)
+	route("GET /api/windows/{n}", "windows_n", ws.handleByIndex)
+}
+
+func (ws *windowSurface) handleLatest(w http.ResponseWriter, r *http.Request) {
+	if ws.src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "analyzer not wired")
+		return
+	}
+	rep, ok := ws.src.LastReport()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no window has closed yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (ws *windowSurface) handleByIndex(w http.ResponseWriter, r *http.Request) {
+	if ws.src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "analyzer not wired")
+		return
+	}
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad window number %q", r.PathValue("n"))
+		return
+	}
+	rep, ok := ws.src.ReportByIndex(n)
+	if !ok {
+		writeErr(w, http.StatusNotFound,
+			"window %d not retained (retained: [%d, %d))",
+			n, ws.src.FirstRetainedWindow(), ws.src.TotalWindows())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -51,7 +51,14 @@ func (h *harness) schedule(ev Event, horizon sim.Time) {
 		}
 
 	case ReaderStall:
-		eng.At(ev.At, func() { h.stallActive = true })
+		eng.At(ev.At, func() {
+			h.stallActive = true
+			// Each stall event also grows the stream-subscriber swarm:
+			// stalled readers that never drain (the hub must shed and
+			// eventually evict them without blocking a publish) next to
+			// slow ones drained once per window.
+			h.spawnReaderSwarm()
+		})
 		eng.At(end, func() { h.stallActive = false })
 
 	case ClockSkew:

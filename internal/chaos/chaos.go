@@ -224,6 +224,13 @@ type Scenario struct {
 	// Localizer selects the Analyzer's switch-localization stage
 	// ("alg1" default, "007" democratic voting).
 	Localizer string
+	// APIReaders > 0 hammers the ops console concurrently with the run:
+	// that many reader goroutines loop over point queries and long-poll
+	// stream requests in-process, plus up to 16 real SSE sockets over a
+	// live listener. Readers only read — fingerprints are unaffected —
+	// but every one must drain cleanly through Shutdown before the
+	// end-of-run leak checks.
+	APIReaders int
 }
 
 func (sc *Scenario) setDefaults() {
@@ -282,6 +289,9 @@ func (sc Scenario) ReproArgs() string {
 	}
 	if sc.FedNodes > 1 {
 		args += fmt.Sprintf(" -fed-nodes %d", sc.FedNodes)
+	}
+	if sc.APIReaders > 0 {
+		args += fmt.Sprintf(" -api-readers %d", sc.APIReaders)
 	}
 	return args
 }

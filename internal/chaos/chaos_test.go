@@ -221,12 +221,28 @@ func TestParsePolicy(t *testing.T) {
 
 // TestReproArgs: the repro line round-trips the scenario's knobs.
 func TestReproArgs(t *testing.T) {
-	sc := Scenario{Seed: 9, Wire: true, NetworkFaults: true, Policy: pipeline.DropOldest}
+	sc := Scenario{Seed: 9, Wire: true, NetworkFaults: true, Policy: pipeline.DropOldest, APIReaders: 64}
 	sc.setDefaults()
 	line := sc.ReproArgs()
-	for _, frag := range []string{"-seed 9", "-windows 8", "-policy drop-oldest", "-wire", "-net-faults"} {
+	for _, frag := range []string{"-seed 9", "-windows 8", "-policy drop-oldest", "-wire", "-net-faults", "-api-readers 64"} {
 		if !strings.Contains(line, frag) {
 			t.Errorf("repro line %q missing %q", line, frag)
 		}
+	}
+	if strings.Contains(Scenario{Seed: 9}.ReproArgs(), "api-readers") {
+		t.Error("repro line mentions api-readers with none configured")
+	}
+}
+
+// TestAPIReadersScenarioGreen: a reader fleet hammering the ops console
+// (long-poll + SSE) while chaos runs must not trip any invariant — and,
+// because readers only read, must not perturb the fingerprint either.
+func TestAPIReadersScenarioGreen(t *testing.T) {
+	quiet := mustRun(t, Scenario{Seed: 11})
+	loud := mustRun(t, Scenario{Seed: 11, APIReaders: 50})
+	assertGreen(t, loud)
+	if quiet.Fingerprint != loud.Fingerprint {
+		t.Fatalf("readers perturbed the run:\n  quiet: %s\n  loud:  %s",
+			quiet.Fingerprint, loud.Fingerprint)
 	}
 }

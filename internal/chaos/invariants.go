@@ -2,13 +2,21 @@ package chaos
 
 import (
 	"rpingmesh/internal/analyzer"
+	"rpingmesh/internal/api"
 )
 
 // onWindow is the invariant sweep, run from core.Cluster.OnWindow after
 // every analysis window has closed and folded into the incident engine.
-// Each checker is cheap enough to run every window of every scenario;
-// ReaderStall additionally turns the API checks into heavy queries.
+// It first advances the serving tier — publishes the window into the
+// stream hub, catches the tsdb follower up, drains the slow half of the
+// reader swarm — then audits everything. Each checker is cheap enough to
+// run every window of every scenario; ReaderStall additionally turns the
+// API checks into heavy queries.
 func (h *harness) onWindow(rep analyzer.WindowReport) {
+	h.console.PublishWindow(rep)
+	h.follower.CatchUp()
+	h.drainReaders(rep.Index)
+
 	h.checkWindowSeq(rep)
 	h.checkPipelineAccounting(rep.Index)
 	h.checkAnalyzerBacklog(rep.Index)
@@ -16,6 +24,7 @@ func (h *harness) onWindow(rep analyzer.WindowReport) {
 	h.checkTSDBSeams(rep)
 	h.checkTSDBBudget(rep.Index)
 	h.checkAPIHealth(rep.Index)
+	h.checkStreamAccounting(rep.Index)
 }
 
 // checkWindowSeq: window sequence numbers are gapless and monotonic —
@@ -121,6 +130,62 @@ func (h *harness) checkTSDBBudget(win int) {
 		h.violate("tsdb-budget", win,
 			"sketch tier holds %d bytes across %d series, budget %d (%d/series)",
 			st.SketchBytes, st.SketchSeries, limit, st.SketchBudgetPerSeries)
+	}
+}
+
+// checkStreamAccounting: the serving tier's conservation laws, the
+// eighth invariant. For every subscriber either hub has ever had — live,
+// departed, or force-evicted — the exact law
+//
+//	published = delivered + shed + queued
+//
+// must hold, no queue may exceed its bound, an evicted reader must
+// actually have shed its way past the threshold, and the follower the
+// console reads from must be fully caught up with the primary (zero lag
+// and per-series Latest agreement) after the per-window CatchUp. The
+// stalled half of the reader swarm guarantees shedding and eviction
+// really happen; that every window still publishes and every checker
+// still answers proves eviction never blocks the publisher.
+func (h *harness) checkStreamAccounting(win int) {
+	for _, hub := range []struct {
+		name string
+		st   api.HubStats
+	}{
+		{"windows", h.console.WindowStream().Stats()},
+		{"incidents", h.console.IncidentStream().Stats()},
+	} {
+		for _, group := range [][]api.SubscriberStats{hub.st.Subs, hub.st.Departed} {
+			for _, ss := range group {
+				if ss.Published != ss.Delivered+ss.Shed+uint64(ss.Queued) {
+					h.violate("stream-accounting", win,
+						"%s hub sub %d (%s): published %d != delivered %d + shed %d + queued %d",
+						hub.name, ss.ID, ss.Name, ss.Published, ss.Delivered, ss.Shed, ss.Queued)
+				}
+				if ss.Queued > hub.st.QueueCap {
+					h.violate("stream-accounting", win,
+						"%s hub sub %d (%s): queued %d exceeds cap %d",
+						hub.name, ss.ID, ss.Name, ss.Queued, hub.st.QueueCap)
+				}
+				if ss.Evicted && ss.Shed == 0 {
+					h.violate("stream-accounting", win,
+						"%s hub sub %d (%s): evicted without shedding", hub.name, ss.ID, ss.Name)
+				}
+			}
+		}
+	}
+
+	if lag := h.follower.Lag(); lag != 0 {
+		h.violate("follower-lag", win,
+			"follower lags %d journal entries right after CatchUp", lag)
+	}
+	for _, name := range h.c.TSDB.Series() {
+		pp, pok := h.c.TSDB.Latest(name)
+		fp, fok := h.follower.Latest(name)
+		if pok != fok || pp != fp {
+			h.violate("follower-lag", win,
+				"series %q: follower Latest (t=%d v=%g ok=%t) != primary (t=%d v=%g ok=%t)",
+				name, int64(fp.T), fp.V, fok, int64(pp.T), pp.V, pok)
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"rpingmesh/internal/api"
@@ -16,6 +19,7 @@ import (
 	"rpingmesh/internal/qos"
 	"rpingmesh/internal/sim"
 	"rpingmesh/internal/topo"
+	"rpingmesh/internal/tsdb"
 	"rpingmesh/internal/wire"
 )
 
@@ -30,9 +34,18 @@ type harness struct {
 	c      *core.Cluster
 	window sim.Time
 
-	// Ops-console front door, never Started — invariants drive it
-	// in-process through the full middleware stack.
-	console *api.Server
+	// Ops-console front door. Invariants drive it in-process through the
+	// full middleware stack; with Scenario.APIReaders it is additionally
+	// Started so real SSE sockets ride the listener. All range/quantile
+	// reads go through a tsdb follower that catches up once per window.
+	console  *api.Server
+	follower *tsdb.Follower
+
+	// ReaderStall's in-process stream-subscriber swarm: slow readers are
+	// drained once per window (and must see every event in order);
+	// stalled readers never read, so the hub must shed for them and
+	// eventually evict them without ever blocking a publish.
+	readers []*streamReader
 
 	// Wire transport (Scenario.Wire only).
 	srv *wire.Server
@@ -103,6 +116,9 @@ func build(sc *Scenario) (*harness, error) {
 		ShardEpoch: sc.ShardEpoch,
 		Localizer:  sc.Localizer,
 		Pipeline:   pipeline.Config{Policy: sc.Policy, Capacity: sc.Capacity},
+		// Journal the primary so the console's follower can catch up by
+		// delta instead of full snapshot every window.
+		TSDB: tsdb.Config{JournalCapacity: 1 << 15},
 	}
 	if sc.QoSClasses > 1 {
 		ccfg.Net.QoS = qos.Profile(sc.QoSClasses)
@@ -137,11 +153,18 @@ func build(sc *Scenario) (*harness, error) {
 
 	// The console is exercised in-process; the slow-consumer notifier is
 	// the ReaderStall payload (it runs inside the alert engine's critical
-	// section, exactly like a sluggish pager integration).
+	// section, exactly like a sluggish pager integration). Historical
+	// reads are served from a follower replica, and the stream hubs are
+	// kept deliberately tiny so shed/evict actually fires within a run.
+	h.follower = tsdb.NewFollower(h.c.TSDB)
 	h.console = api.New(api.Backend{
-		Windows: h.c.Analyzer, TSDB: h.c.TSDB, Pipeline: h.c.Ingest, Alerts: h.c.Alerts,
-	}, api.Config{})
+		Windows: h.c.Analyzer, TSDB: h.follower, Pipeline: h.c.Ingest, Alerts: h.c.Alerts,
+	}, api.Config{
+		Addr:   "127.0.0.1:0",
+		Stream: api.HubConfig{QueueCap: 2, EvictShed: 4, Replay: 16},
+	})
 	h.c.Alerts.AddNotifier(h.stallNotifier())
+	h.c.Alerts.AddNotifier(h.console.AlertNotifier())
 
 	if sc.NetworkFaults {
 		h.inj = faultgen.NewInjector(h.c, sc.Seed+7)
@@ -149,9 +172,14 @@ func build(sc *Scenario) (*harness, error) {
 	return h, nil
 }
 
-// close tears down the real-OS resources (wire sockets); the simulated
-// cluster needs no teardown.
+// close tears down the real-OS resources (console listener + stream
+// hubs, wire sockets); the simulated cluster needs no teardown.
 func (h *harness) close() {
+	if h.console != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = h.console.Shutdown(ctx)
+		cancel()
+	}
 	if h.cli != nil {
 		_ = h.cli.Close()
 		h.cli = nil
@@ -191,9 +219,13 @@ func Run(sc Scenario) (*Result, error) {
 	}()
 
 	// Leak baselines, captured after the wire transport is up so its
-	// accept loop and session goroutines are part of the baseline.
+	// accept loop and session goroutines are part of the baseline. The
+	// console listener and every API reader start *after* the baseline:
+	// Shutdown must account for all of them or checkLeaks fails.
 	h.goroutineBase = runtime.NumGoroutine()
 	h.fdBase = countFDs()
+
+	stopReaders := h.startReaders(sc.APIReaders)
 
 	h.c.OnWindow(h.onWindow)
 	h.c.StartAgents()
@@ -218,8 +250,10 @@ func Run(sc Scenario) (*Result, error) {
 	fingerprint := h.fingerprint()
 	pstats := h.c.Ingest.Stats()
 
-	// Leak checks run on a fully torn-down harness: sockets closed,
-	// session goroutines drained.
+	// Leak checks run on a fully torn-down harness: readers stopped,
+	// console hubs closed and streaming connections drained (the
+	// Shutdown-drain contract under test), sockets closed.
+	stopReaders()
 	h.close()
 	closed = true
 	h.checkLeaks()
@@ -314,6 +348,149 @@ func (h *harness) checkLeaks() {
 			h.violate("fd-leak", h.lastIndex, "fds %d > baseline %d+%d after teardown",
 				fds, h.fdBase, slack)
 		}
+	}
+}
+
+// streamReader is one in-process hub subscriber from the ReaderStall
+// swarm. Slow readers drain once per window and must observe strictly
+// increasing sequence numbers; stalled readers never read at all.
+type streamReader struct {
+	sub     *api.Subscriber
+	lastSeq uint64
+	stalled bool
+}
+
+// maxSwarm bounds the ReaderStall swarm across repeated events.
+const maxSwarm = 16
+
+// spawnReaderSwarm subscribes a batch of stalled and slow readers to
+// both stream hubs. Runs inside an engine callback, so subscribe order
+// (and hence subscriber IDs within the swarm) is deterministic.
+func (h *harness) spawnReaderSwarm() {
+	for _, hub := range []*api.Hub{h.console.WindowStream(), h.console.IncidentStream()} {
+		for _, stalled := range []bool{true, false} {
+			if len(h.readers) >= maxSwarm {
+				return
+			}
+			name := fmt.Sprintf("chaos-slow-%d", len(h.readers))
+			if stalled {
+				name = fmt.Sprintf("chaos-stalled-%d", len(h.readers))
+			}
+			sub := hub.Subscribe(name)
+			if sub == nil {
+				return // hubs already closed (teardown)
+			}
+			h.readers = append(h.readers, &streamReader{sub: sub, stalled: stalled})
+		}
+	}
+}
+
+// drainReaders advances every slow swarm reader to the live edge and
+// checks delivery order: each must see strictly increasing seqs.
+// Stalled readers are left alone — shedding for them is the point.
+func (h *harness) drainReaders(win int) {
+	for _, r := range h.readers {
+		if r.stalled {
+			continue
+		}
+		for {
+			ev, ok := r.sub.TryNext()
+			if !ok {
+				break
+			}
+			if ev.Seq <= r.lastSeq {
+				h.violate("stream-accounting", win,
+					"slow reader %d delivered seq %d after %d (order violated)",
+					r.sub.ID(), ev.Seq, r.lastSeq)
+			}
+			r.lastSeq = ev.Seq
+		}
+	}
+}
+
+// startReaders launches n concurrent console readers: in-process
+// point-query and long-poll loops through the full middleware stack,
+// plus up to 16 real SSE sockets over a live listener. The returned
+// stop function halts the loops, shuts the console down (closing the
+// hubs, which is what drains every SSE handler), and joins everything —
+// it must run before checkLeaks. With n == 0 it only shuts the console
+// down.
+func (h *harness) startReaders(n int) (stop func()) {
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = h.console.Shutdown(ctx)
+		cancel()
+	}
+	if n <= 0 {
+		return shutdown
+	}
+
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Bulk readers stay in-process: full middleware, no socket cost, so
+	// thousands can run concurrently with the engine.
+	paths := []string{
+		"/api/stream/windows?since=0&wait_ms=5",
+		"/api/stream/incidents?since=0&wait_ms=5",
+		"/healthz", "/api/incidents", "/api/windows/latest",
+		"/api/series", "/api/alerts/stats", "/api/pipeline/stats",
+	}
+	for i := 0; i < n; i++ {
+		p := paths[i%len(paths)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				// Status is deliberately ignored: 404 before the first
+				// window is fine; what's under test is that concurrent
+				// reads never wedge or leak. The pause keeps a 1000-reader
+				// fleet from starving the engine of CPU.
+				_ = h.console.Check(p, 0)
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+
+	// A capped set of real SSE sockets over the live listener. They exit
+	// when Shutdown closes the hubs (handler returns → body EOF).
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := h.console.Start(); err == nil {
+		sse := n
+		if sse > 16 {
+			sse = 16
+		}
+		streams := []string{"/api/stream/windows", "/api/stream/incidents"}
+		for i := 0; i < sse; i++ {
+			url := "http://" + h.console.Addr() + streams[i%len(streams)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := client.Get(url)
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := resp.Body.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	return func() {
+		close(stopCh)
+		shutdown() // hub close is what unblocks the SSE readers
+		wg.Wait()
+		client.CloseIdleConnections()
 	}
 }
 

@@ -45,6 +45,13 @@ type Config struct {
 	// frequency is typically less than 150 packets per second", §6) so a
 	// small ToR population cannot be told to probe unreasonably fast.
 	MaxRNICPPS float64
+	// Tenants, when non-empty, partitions hosts into named probe tenants
+	// whose aggregate rates are scheduled by deficit round robin over
+	// TenantCapacityPPS (tenant.go). Empty leaves pinglists untouched.
+	Tenants []TenantConfig
+	// TenantCapacityPPS is the fleet-wide probe-capacity pool the tenant
+	// scheduler divides (0 = uncontended: every tenant runs at demand).
+	TenantCapacityPPS float64
 }
 
 func (c *Config) setDefaults() {
@@ -87,6 +94,9 @@ type Controller struct {
 	interToR map[topo.DeviceID][]tupleSkeleton
 	// torRate is each ToR's aggregate inter-ToR probe rate (probes/s).
 	torRate map[topo.DeviceID]float64
+
+	// ten is the tenant scheduler state; nil without Config.Tenants.
+	ten *tenantState
 }
 
 // New builds a Controller for a topology and generates the initial
@@ -105,6 +115,13 @@ func New(eng *sim.Engine, tp *topo.Topology, cfg Config) *Controller {
 	for _, tor := range tp.ToRs() {
 		c.interToR[tor] = c.generateSkeletons(tor, c.tupleCount(tor))
 		c.torRate[tor] = cfg.TargetLinkPPS * float64(len(tp.Uplinks(tor)))
+	}
+	if len(cfg.Tenants) > 0 {
+		c.ten = &tenantState{
+			cfgs:     cfg.Tenants,
+			capacity: cfg.TenantCapacityPPS,
+			dirty:    true,
+		}
 	}
 	return c
 }
@@ -179,6 +196,8 @@ func (c *Controller) Register(infos []proto.RNICInfo) {
 		c.registry[info.Dev] = info
 		c.byIP[info.IP] = info.Dev
 	}
+	// Registrations resolve pinglist targets, changing tenant demand.
+	c.markTenantsDirty()
 }
 
 // Lookup implements proto.Controller.
@@ -202,9 +221,18 @@ func (c *Controller) CurrentQPN(dev topo.DeviceID) (rnic.QPN, bool) {
 func (c *Controller) Registered() int { return len(c.registry) }
 
 // Pinglists implements proto.Controller: the ToR-mesh and inter-ToR
-// pinglists for every RNIC of the host, with destination info resolved to
-// the registry's latest values.
+// pinglists for every RNIC of the host, with destination info resolved
+// to the registry's latest values and — when tenants are configured —
+// intervals stretched to the host's tenant's DRR-granted share.
 func (c *Controller) Pinglists(host topo.HostID) []proto.Pinglist {
+	out := c.rawPinglists(host)
+	c.applyTenantScale(host, out)
+	return out
+}
+
+// rawPinglists builds the unscaled lists; the tenant scheduler reads
+// these to compute demand.
+func (c *Controller) rawPinglists(host topo.HostID) []proto.Pinglist {
 	h, ok := c.tp.Hosts[host]
 	if !ok {
 		return nil
@@ -318,6 +346,8 @@ func (c *Controller) RotateInterToR() {
 			skels[c.rng.Intn(len(skels))] = fresh[i]
 		}
 	}
+	// Rotation reshuffles which RNICs own tuples, changing tenant demand.
+	c.markTenantsDirty()
 }
 
 // InterToRTuples reports the current tuple count for a ToR (for tests and

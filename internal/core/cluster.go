@@ -77,6 +77,12 @@ type Config struct {
 	// set.
 	Localizer string
 
+	// Tenants / TenantCapacityPPS are shorthand for the controller's
+	// per-tenant probe-budget scheduler (controller.Config.Tenants);
+	// the explicit Controller fields win if both are set.
+	Tenants           []controller.TenantConfig
+	TenantCapacityPPS float64
+
 	// MaxClockOffset randomizes each RNIC and host clock offset uniformly
 	// in [-MaxClockOffset, +MaxClockOffset]. Defaults to 10 s — large
 	// enough that any algebra accidentally mixing clocks is glaring.
@@ -250,6 +256,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		eng = sim.New(cfg.Seed)
 	}
 	net := simnet.New(eng, tp, cfg.Net)
+	if len(cfg.Controller.Tenants) == 0 && len(cfg.Tenants) > 0 {
+		cfg.Controller.Tenants = cfg.Tenants
+		cfg.Controller.TenantCapacityPPS = cfg.TenantCapacityPPS
+	}
 	ctrl := controller.New(eng, tp, cfg.Controller)
 	if cfg.Analyzer.Localizer == "" {
 		cfg.Analyzer.Localizer = cfg.Localizer

@@ -802,6 +802,23 @@ func (p *Pipeline) Depth(pi int) int {
 	return pt.count
 }
 
+// QueueFraction reports the fill fraction (0..1) of the fullest
+// partition — the pressure signal the API's admission control sheds on.
+// Cheap enough to call per request: one mutex tap per partition, no
+// distribution snapshots.
+func (p *Pipeline) QueueFraction() float64 {
+	worst := 0
+	for _, pt := range p.parts {
+		pt.mu.Lock()
+		c := pt.count
+		pt.mu.Unlock()
+		if c > worst {
+			worst = c
+		}
+	}
+	return float64(worst) / float64(p.cfg.Capacity)
+}
+
 // Stats snapshots the pipeline's self-metrics.
 func (p *Pipeline) Stats() Stats {
 	s := Stats{Partitions: make([]PartitionStats, len(p.parts))}

@@ -1,0 +1,186 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rpingmesh/internal/proto"
+	"rpingmesh/internal/sim"
+	"rpingmesh/internal/topo"
+)
+
+// assertReplica asserts the follower answers every query bit-identically
+// to the primary: series set, full-horizon Range, quantiles with their
+// error bounds, count estimates, and the store-level Stats (journal
+// accounting aside — the replica never journals).
+func assertReplica(t *testing.T, primary *DB, f *Follower, horizon sim.Time) {
+	t.Helper()
+	pNames := primary.Series()
+	fNames := f.Series()
+	if len(pNames) != len(fNames) {
+		t.Fatalf("series count: primary %d, follower %d", len(pNames), len(fNames))
+	}
+	for i, name := range pNames {
+		if fNames[i] != name {
+			t.Fatalf("series[%d]: primary %q, follower %q", i, name, fNames[i])
+		}
+		pl, pok := primary.Latest(name)
+		fl, fok := f.Latest(name)
+		if pok != fok || pl != fl {
+			t.Fatalf("series %q Latest: primary (%+v,%v) follower (%+v,%v)", name, pl, pok, fl, fok)
+		}
+		pr := primary.Range(name, 0, horizon)
+		fr := f.Range(name, 0, horizon)
+		if len(pr) != len(fr) {
+			t.Fatalf("series %q Range: primary %d points, follower %d", name, len(pr), len(fr))
+		}
+		for j := range pr {
+			if pr[j] != fr[j] {
+				t.Fatalf("series %q point %d: primary %+v, follower %+v", name, j, pr[j], fr[j])
+			}
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			pv, pe, pok := primary.QuantileWithError(name, 0, horizon, q)
+			fv, fe, fok := f.QuantileWithError(name, 0, horizon, q)
+			if pok != fok || pv != fv || pe != fe {
+				t.Fatalf("series %q q%.2f: primary (%v ±%v %v), follower (%v ±%v %v)",
+					name, q, pv, pe, pok, fv, fe, fok)
+			}
+		}
+	}
+	ps, fs := primary.Stats(), f.Stats()
+	if ps.Series != fs.Series || ps.Appended != fs.Appended ||
+		ps.RawPoints != fs.RawPoints || ps.RawEvicted != fs.RawEvicted ||
+		ps.WindowBuckets != fs.WindowBuckets || ps.WindowEvicted != fs.WindowEvicted ||
+		ps.CoarseBuckets != fs.CoarseBuckets || ps.CoarseEvicted != fs.CoarseEvicted ||
+		ps.SketchSeries != fs.SketchSeries || ps.SketchBytes != fs.SketchBytes ||
+		ps.SketchMaxErrBound != fs.SketchMaxErrBound || ps.IngestedRecords != fs.IngestedRecords {
+		t.Fatalf("stats diverge:\nprimary  %+v\nfollower %+v", ps, fs)
+	}
+	for _, dev := range []string{"dev-0", "dev-1", "dev-2"} {
+		if pe, fe := primary.CountEstimate(dev), f.CountEstimate(dev); pe != fe {
+			t.Fatalf("CountEstimate(%s): primary %d, follower %d", dev, pe, fe)
+		}
+	}
+}
+
+// fillWindow writes one window's worth of mixed mutations: exact points
+// (enough to cross the raw→window→coarse seams over many windows),
+// sketch appends, and full record-batch ingest.
+func fillWindow(db *DB, w int) sim.Time {
+	t0 := sim.Time(w) * 20 * sim.Second
+	for i := 0; i < 40; i++ {
+		ts := t0 + sim.Time(i)*500*sim.Millisecond
+		db.Append("cluster.rtt.p50", ts, float64(100+((w*7+i*13)%91)))
+		db.Append("cluster.drop_rate", ts, math.Mod(float64(w*31+i*17), 1.0)/100)
+		db.AppendSketch("host.rtt", ts, float64(10_000+((w*997+i*313)%5000)))
+	}
+	b := &proto.RecordBatch{Host: topo.HostID(fmt.Sprintf("host-%d", w%3)), Sent: t0}
+	r0 := b.AddRoute(proto.Route{SrcDev: "rnic-0", DstDev: topo.DeviceID(fmt.Sprintf("dev-%d", w%3)),
+		ProbePath: []topo.LinkID{1, topo.LinkID(w % 5), 3}})
+	for i := 0; i < 25; i++ {
+		flags := uint8(0)
+		if i%10 == 9 {
+			flags = proto.RecTimeout
+		}
+		b.Append(r0, uint64(w*25+i), t0+sim.Time(i)*sim.Millisecond, flags,
+			sim.Time(20_000+((w*41+i*29)%9000)), 0, 0, 0)
+	}
+	db.IngestRecords(b)
+	return t0 + 20*sim.Second
+}
+
+// TestFollowerDeltaReplayIdentical: a follower caught up after every
+// sealed window answers every range/quantile/error-bound/stats query
+// bit-identically to the primary — across all three exact tiers and the
+// sketch tier, through seals and evictions.
+func TestFollowerDeltaReplayIdentical(t *testing.T) {
+	db := Open(Config{JournalCapacity: 1 << 14, RawCapacity: 64, WindowCapacity: 32})
+	f := NewFollower(db)
+	var horizon sim.Time
+	for w := 0; w < 50; w++ {
+		horizon = fillWindow(db, w)
+		f.CatchUp()
+		if lag := f.Lag(); lag != 0 {
+			t.Fatalf("window %d: lag %d after CatchUp", w, lag)
+		}
+		assertReplica(t, db, f, horizon)
+	}
+	st := f.FollowerStats()
+	if st.Snapshots != 0 || st.Applied == 0 {
+		t.Fatalf("expected pure delta replay, got %+v", st)
+	}
+	// Mutation counts must agree exactly with the journal.
+	if st.AppliedSeq != db.JournalSeq() {
+		t.Fatalf("applied seq %d != journal seq %d", st.AppliedSeq, db.JournalSeq())
+	}
+}
+
+// TestFollowerResumeAtAnySealedWindow: a follower created fresh at an
+// arbitrary sealed window (i.e. resuming from scratch mid-history) must
+// converge to the same state as one that followed all along.
+func TestFollowerResumeAtAnySealedWindow(t *testing.T) {
+	for _, resumeAt := range []int{1, 7, 23, 40} {
+		db := Open(Config{JournalCapacity: 1 << 16, RawCapacity: 64})
+		var horizon sim.Time
+		for w := 0; w < resumeAt; w++ {
+			horizon = fillWindow(db, w)
+		}
+		late := NewFollower(db) // resumes here: everything before is history
+		late.CatchUp()
+		assertReplica(t, db, late, horizon)
+		for w := resumeAt; w < resumeAt+5; w++ {
+			horizon = fillWindow(db, w)
+		}
+		late.CatchUp()
+		assertReplica(t, db, late, horizon)
+	}
+}
+
+// TestFollowerSnapshotFallback: with a journal too small to retain the
+// gap, CatchUp must fall back to a full snapshot and still be identical.
+func TestFollowerSnapshotFallback(t *testing.T) {
+	db := Open(Config{JournalCapacity: 64})
+	f := NewFollower(db)
+	var horizon sim.Time
+	for w := 0; w < 10; w++ { // each window >> 64 journal entries
+		horizon = fillWindow(db, w)
+		f.CatchUp()
+		assertReplica(t, db, f, horizon)
+	}
+	if st := f.FollowerStats(); st.Snapshots == 0 {
+		t.Fatalf("expected snapshot resyncs on an undersized journal, got %+v", st)
+	}
+}
+
+// TestFollowerOfJournallessPrimary: JournalCapacity 0 disables the
+// journal entirely; every CatchUp is a snapshot and stays identical.
+func TestFollowerOfJournallessPrimary(t *testing.T) {
+	db := Open(Config{})
+	f := NewFollower(db)
+	horizon := fillWindow(db, 0)
+	f.CatchUp()
+	assertReplica(t, db, f, horizon)
+	if st := f.FollowerStats(); st.Snapshots == 0 || st.Applied != 0 {
+		t.Fatalf("journal-less primary must resync by snapshot: %+v", st)
+	}
+	if f.Lag() != 0 {
+		t.Fatalf("lag %d on journal-less primary", f.Lag())
+	}
+}
+
+// BenchmarkFollowerCatchup measures replaying one window of mixed
+// mutations (exact + sketch + record ingest) into a follower.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	db := Open(Config{JournalCapacity: 1 << 16})
+	f := NewFollower(db)
+	fillWindow(db, 0)
+	f.CatchUp()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillWindow(db, i+1)
+		f.CatchUp()
+	}
+}

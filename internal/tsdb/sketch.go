@@ -238,6 +238,21 @@ func (s *QuantileSketch) Bytes() int {
 	return b
 }
 
+// Clone deep-copies the sketch — identical quantile answers, error
+// bound and byte footprint (level capacities are preserved so Bytes
+// agrees with the original).
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	out := *s
+	out.levels = make([]sketchLevel, len(s.levels))
+	for i, lv := range s.levels {
+		cp := lv
+		cp.items = make([]float64, len(lv.items), cap(lv.items))
+		copy(cp.items, lv.items)
+		out.levels[i] = cp
+	}
+	return &out
+}
+
 // CountMin is a conservative per-key counter sketch.
 type CountMin struct {
 	depth, width int
@@ -327,3 +342,13 @@ func (c *CountMin) Merge(o *CountMin) {
 
 // Bytes reports the counter array footprint.
 func (c *CountMin) Bytes() int { return 48 + 8*c.depth*c.width }
+
+// Clone deep-copies the counter array.
+func (c *CountMin) Clone() *CountMin {
+	out := &CountMin{depth: c.depth, width: c.width, n: c.n}
+	out.rows = make([][]uint64, c.depth)
+	for i, row := range c.rows {
+		out.rows[i] = append([]uint64(nil), row...)
+	}
+	return out
+}

@@ -56,6 +56,12 @@ type Config struct {
 	// SketchWindowBuckets is the sketch tier's sealed window-bucket ring
 	// size (default 64) — the coarse Range view of a sketch series.
 	SketchWindowBuckets int
+	// JournalCapacity, when > 0, keeps a bounded ring of the last N
+	// mutations that Followers replay to maintain read replicas
+	// (follower.go). 0 — the default — disables journaling entirely:
+	// the write path pays one nil check and replicas resync via full
+	// Snapshot instead.
+	JournalCapacity int
 }
 
 func (c *Config) setDefaults() {
@@ -214,17 +220,25 @@ type DB struct {
 	// per-key memory is O(1) regardless of fleet size).
 	counts   *CountMin
 	ingested uint64
+
+	// Append journal for Followers (nil buf when JournalCapacity == 0).
+	jr   ring[journalEntry]
+	jseq uint64
 }
 
 // Open creates a store.
 func Open(cfg Config) *DB {
 	cfg.setDefaults()
-	return &DB{
+	db := &DB{
 		cfg:    cfg,
 		s:      make(map[string]*series),
 		sk:     make(map[string]*sketchSeries),
 		counts: NewCountMin(4, 1024),
 	}
+	if cfg.JournalCapacity > 0 {
+		db.jr = newRing[journalEntry](cfg.JournalCapacity)
+	}
+	return db
 }
 
 func align(t, step sim.Time) sim.Time {
@@ -277,6 +291,7 @@ func (db *DB) Append(name string, t sim.Time, v float64) {
 	}
 	se.curWin.fold(v)
 	se.curCoarse.fold(v)
+	db.journal(opPoint, name, t, v)
 }
 
 // sketchLocked fetches or creates a sketch-tier series. Caller holds
@@ -301,6 +316,7 @@ func (db *DB) AppendSketch(name string, t sim.Time, v float64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.sketchLocked(name).add(&db.cfg, t, v)
+	db.journal(opSketch, name, t, v)
 }
 
 // PathSeriesName keys a sketch series by an interned route's forward
@@ -336,23 +352,41 @@ func (db *DB) IngestRecords(b *proto.RecordBatch) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.ingested += uint64(n)
-	host := db.sketchLocked("ingest.rtt." + string(b.Host))
+	journaling := len(db.jr.buf) > 0
+	hostName := "ingest.rtt." + string(b.Host)
+	host := db.sketchLocked(hostName)
 	memo := make([]*sketchSeries, b.Routes())
+	var memoName []string
+	if journaling {
+		memoName = make([]string, b.Routes())
+	}
 	for i := 0; i < n; i++ {
 		rt := b.RouteAt(i)
-		db.counts.Add(string(rt.DstDev), 1)
+		dev := string(rt.DstDev)
+		db.counts.Add(dev, 1)
+		if journaling {
+			db.journal(opCount, dev, 0, 1)
+		}
 		if b.Timeout(i) {
 			continue
 		}
 		ri := b.RouteIndex(i)
 		ss := memo[ri]
 		if ss == nil {
-			ss = db.sketchLocked(PathSeriesName(rt))
+			pname := PathSeriesName(rt)
+			ss = db.sketchLocked(pname)
 			memo[ri] = ss
+			if journaling {
+				memoName[ri] = pname
+			}
 		}
 		v := float64(b.NetworkRTT(i))
 		host.add(&db.cfg, b.Sent, v)
 		ss.add(&db.cfg, b.Sent, v)
+		if journaling {
+			db.journal(opSketch, hostName, b.Sent, v)
+			db.journal(opSketch, memoName[ri], b.Sent, v)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"rpingmesh/internal/analyzer"
 	"rpingmesh/internal/api"
 	"rpingmesh/internal/chaos"
+	"rpingmesh/internal/controller"
 	"rpingmesh/internal/core"
 	"rpingmesh/internal/experiments"
 	"rpingmesh/internal/faultgen"
@@ -131,7 +132,17 @@ type (
 	TSDBConfig = tsdb.Config
 	// Point is one (time, value) sample returned by TSDB queries.
 	Point = tsdb.Point
+	// TSDBFollower is a read replica of a TSDB: it catches up via the
+	// primary's mutation journal (or a snapshot once the journal has
+	// evicted its span) and answers the full query interface
+	// bit-identically to the primary. The ops console reads from a
+	// follower so heavy query fan-out never contends with ingest.
+	TSDBFollower = tsdb.Follower
 )
+
+// NewTSDBFollower builds an empty follower of a primary store; it
+// converges on the first CatchUp.
+func NewTSDBFollower(src *TSDB) *TSDBFollower { return tsdb.NewFollower(src) }
 
 // Overload policies.
 const (
@@ -171,7 +182,39 @@ type (
 	// APIBackend wires the server's data sources explicitly — NewConsole
 	// fills it from a Cluster; standalone daemons assemble their own.
 	APIBackend = api.Backend
+	// StreamHub is the bounded fan-out bus behind /api/stream/*: one
+	// publisher, many subscribers, per-subscriber queues that shed oldest
+	// under pressure and evict chronically stalled readers — the
+	// publisher never blocks.
+	StreamHub = api.Hub
+	// StreamHubConfig tunes per-subscriber queue depth, the eviction
+	// threshold, and the long-poll replay ring (set it in
+	// APIConfig.Stream).
+	StreamHubConfig = api.HubConfig
+	// StreamSubscriber is one hub subscription (see Hub.Subscribe).
+	StreamSubscriber = api.Subscriber
+	// APIAdmission ties API admission control to pipeline overload and
+	// follower staleness: sheddable endpoints answer 429 + Retry-After
+	// while either signal is unhealthy (set it in APIBackend.Admission).
+	APIAdmission = api.Admission
+	// TenantConfig declares one probe tenant for the controller's
+	// deficit-round-robin scheduler (set Config.Tenants and
+	// Config.TenantCapacityPPS).
+	TenantConfig = controller.TenantConfig
+	// TenantGrant is one tenant's scheduling outcome, served at
+	// /api/tenants.
+	TenantGrant = controller.TenantGrant
 )
+
+// ParseTenants parses a "-tenants"-style flag value: comma-separated
+// name:weight or name:weight:maxpps entries, e.g. "gold:4,silver:2:250".
+func ParseTenants(s string) ([]TenantConfig, error) { return controller.ParseTenants(s) }
+
+// DRRGrants divides capacityPPS across tenant demands by weighted
+// deficit round robin — exact, deterministic, max-min fair.
+func DRRGrants(demands []float64, weights []int, capacityPPS float64) []float64 {
+	return controller.DRRGrants(demands, weights, capacityPPS)
+}
 
 // Incident lifecycle states and severities.
 const (
