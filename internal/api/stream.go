@@ -165,29 +165,38 @@ func (ss *streamSurface) longPoll(hub *Hub, w http.ResponseWriter, r *http.Reque
 			writeErr(w, http.StatusServiceUnavailable, "server shutting down")
 			return
 		}
-		timer := time.NewTimer(wait)
-		stop := make(chan struct{})
-		go func() {
-			select {
-			case <-timer.C:
-			case <-r.Context().Done():
-			case <-stop:
-			}
-			sub.Close() // wakes Next
-		}()
-		if ev, ok := sub.Next(r.Context().Done()); ok {
-			evs = append(evs, ev)
-			// Grab whatever landed in the same burst without waiting.
-			for {
-				ev, ok := sub.TryNext()
-				if !ok {
-					break
+		// An event published between the scan above and Subscribe reached
+		// neither the scan nor the new queue; re-scan now that the
+		// subscription is registered so nothing can fall in the gap. If the
+		// re-scan finds events, answer with those — anything queued on the
+		// subscription is a duplicate or newer, and the next poll's ?since=
+		// picks it up.
+		evs, oldest = hub.ReplaySince(since)
+		if len(evs) == 0 {
+			timer := time.NewTimer(wait)
+			stop := make(chan struct{})
+			go func() {
+				select {
+				case <-timer.C:
+				case <-r.Context().Done():
+				case <-stop:
 				}
+				sub.Close() // wakes Next
+			}()
+			if ev, ok := sub.Next(r.Context().Done()); ok {
 				evs = append(evs, ev)
+				// Grab whatever landed in the same burst without waiting.
+				for {
+					ev, ok := sub.TryNext()
+					if !ok {
+						break
+					}
+					evs = append(evs, ev)
+				}
 			}
+			close(stop)
+			timer.Stop()
 		}
-		close(stop)
-		timer.Stop()
 		sub.Close()
 	}
 	next := since

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -166,6 +167,44 @@ func TestLongPollReplayAndPark(t *testing.T) {
 	if _, body = get(t, s.Handler(), "/api/stream/windows?since=bogus"); body["error"] == nil {
 		t.Fatal("bad since accepted")
 	}
+}
+
+// TestLongPollReplayAndParkNoLostEvents: a chain of long-polls must see
+// every published seq in order even when a publish lands between a
+// poll's replay scan and its park — the lost-event window the re-scan
+// after Subscribe closes. The replay ring is sized to retain the whole
+// run, so any skipped seq is a real loss, not a legitimate gap.
+func TestLongPollReplayAndParkNoLostEvents(t *testing.T) {
+	b, _, _, _ := testBackend(t)
+	s := New(b, Config{Stream: HubConfig{Replay: 2048}})
+
+	const n = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			s.PublishWindow(report(i))
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	last := uint64(0)
+	deadline := time.Now().Add(30 * time.Second)
+	for last < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("saw only %d of %d events before deadline", last, n)
+		}
+		_, body := get(t, s.Handler(), fmt.Sprintf("/api/stream/windows?since=%d&wait_ms=500", last))
+		evs, _ := body["events"].([]any)
+		for _, e := range evs {
+			seq := uint64(e.(map[string]any)["seq"].(float64))
+			if seq != last+1 {
+				t.Fatalf("lost event: got seq %d after %d", seq, last)
+			}
+			last = seq
+		}
+	}
+	<-done
 }
 
 type fakeLoad struct{ f float64 }

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"rpingmesh/internal/ecmp"
 	"rpingmesh/internal/proto"
@@ -79,13 +80,19 @@ type tupleSkeleton struct {
 	port     uint16
 }
 
-// Controller is the central module. It is driven inside the simulation
-// event loop and is not safe for concurrent use (the TCP front-end in
-// internal/wire serializes access).
+// Controller is the central module. Its exported methods are safe for
+// concurrent use: the wire front-end serializes the control path under
+// its own mutex, but the daemon's stats loop and the ops console
+// (/api/tenants) call in from other goroutines, so the Controller
+// guards its registry and scheduler state itself.
 type Controller struct {
 	tp  *topo.Topology
 	cfg Config
 	rng *rand.Rand
+
+	// mu guards every field below; exported methods lock it, unexported
+	// helpers assume it is held.
+	mu sync.Mutex
 
 	registry map[topo.DeviceID]proto.RNICInfo
 	byIP     map[netip.Addr]topo.DeviceID
@@ -192,6 +199,8 @@ func (c *Controller) randPort() uint16 { return uint16(c.rng.Intn(60000-1024) + 
 
 // Register implements proto.Controller.
 func (c *Controller) Register(infos []proto.RNICInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, info := range infos {
 		c.registry[info.Dev] = info
 		c.byIP[info.IP] = info.Dev
@@ -202,6 +211,8 @@ func (c *Controller) Register(infos []proto.RNICInfo) {
 
 // Lookup implements proto.Controller.
 func (c *Controller) Lookup(ip netip.Addr) (proto.RNICInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	dev, ok := c.byIP[ip]
 	if !ok {
 		return proto.RNICInfo{}, false
@@ -213,18 +224,26 @@ func (c *Controller) Lookup(ip netip.Addr) (proto.RNICInfo, bool) {
 // CurrentQPN returns the latest registered probing QPN of a device; the
 // Analyzer uses it to classify QPN-reset timeouts (§4.3.1).
 func (c *Controller) CurrentQPN(dev topo.DeviceID) (rnic.QPN, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	info, ok := c.registry[dev]
 	return info.QPN, ok
 }
 
 // Registered returns the number of registry entries.
-func (c *Controller) Registered() int { return len(c.registry) }
+func (c *Controller) Registered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.registry)
+}
 
 // Pinglists implements proto.Controller: the ToR-mesh and inter-ToR
 // pinglists for every RNIC of the host, with destination info resolved
 // to the registry's latest values and — when tenants are configured —
 // intervals stretched to the host's tenant's DRR-granted share.
 func (c *Controller) Pinglists(host topo.HostID) []proto.Pinglist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := c.rawPinglists(host)
 	c.applyTenantScale(host, out)
 	return out
@@ -330,6 +349,8 @@ func (c *Controller) interToRList(dev topo.DeviceID) (proto.Pinglist, bool) {
 // RotateInterToR replaces RotateFraction of each ToR's tuples with fresh
 // random ones (hourly in the paper).
 func (c *Controller) RotateInterToR() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	tors := make([]topo.DeviceID, 0, len(c.interToR))
 	for tor := range c.interToR {
 		tors = append(tors, tor)
@@ -352,4 +373,8 @@ func (c *Controller) RotateInterToR() {
 
 // InterToRTuples reports the current tuple count for a ToR (for tests and
 // the experiment harness).
-func (c *Controller) InterToRTuples(tor topo.DeviceID) int { return len(c.interToR[tor]) }
+func (c *Controller) InterToRTuples(tor topo.DeviceID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.interToR[tor])
+}

@@ -15,7 +15,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"rpingmesh/internal/proto"
 	"rpingmesh/internal/sim"
@@ -151,19 +150,18 @@ func DRRGrants(demands []float64, weights []int, capacityPPS float64) []float64 
 	return out
 }
 
-// tenantState is the controller's scheduler bookkeeping. Grants are
-// recomputed lazily when the registry or tuple assignments change and
-// published to a separately locked snapshot so the ops console can read
-// /api/tenants concurrently with the (serialized) control path.
+// tenantState is the controller's scheduler bookkeeping, guarded by
+// Controller.mu like the rest of the control state: grants are
+// recomputed lazily when the registry or tuple assignments change, and
+// the ops console's /api/tenants reads ride the same lock as the wire
+// control path.
 type tenantState struct {
 	cfgs     []TenantConfig
 	capacity float64
 
 	dirty bool
 	share []float64 // per-tenant interval stretch (granted/demand)
-
-	snapMu sync.Mutex
-	snap   []TenantGrant
+	snap  []TenantGrant
 }
 
 // tenantOf assigns a host to a tenant by FNV-1a hash — stable across
@@ -182,20 +180,21 @@ func (c *Controller) Tenants() bool { return c.ten != nil }
 
 // TenantGrants returns the current per-tenant scheduling outcome
 // (recomputing it first if the fleet changed). Safe for concurrent use
-// with other TenantGrants calls; the recompute itself rides the
-// serialized control path like every other Controller method.
+// with the control path: the recompute reads the registry, so it takes
+// the Controller lock like every other exported method.
 func (c *Controller) TenantGrants() []TenantGrant {
 	if c.ten == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.retuneTenants()
-	c.ten.snapMu.Lock()
-	defer c.ten.snapMu.Unlock()
 	return append([]TenantGrant(nil), c.ten.snap...)
 }
 
 // markTenantsDirty queues a grant recompute; called whenever pinglist
-// demand can have changed (registration, tuple rotation).
+// demand can have changed (registration, tuple rotation). Caller holds
+// c.mu.
 func (c *Controller) markTenantsDirty() {
 	if c.ten != nil {
 		c.ten.dirty = true
@@ -206,6 +205,7 @@ func (c *Controller) markTenantsDirty() {
 // pinglists of every host, runs DRR over the capacity pool, and stores
 // each tenant's interval stretch. O(hosts × pinglist build); demand
 // changes only on registration and rotation, so this runs rarely.
+// Caller holds c.mu.
 func (c *Controller) retuneTenants() {
 	ts := c.ten
 	if ts == nil || !ts.dirty {
@@ -252,13 +252,11 @@ func (c *Controller) retuneTenants() {
 			DemandPPS: demand[i], GrantedPPS: granted[i], Share: share,
 		}
 	}
-	ts.snapMu.Lock()
 	ts.snap = snap
-	ts.snapMu.Unlock()
 }
 
 // applyTenantScale stretches a host's pinglist intervals to its
-// tenant's granted share. No-op without tenants.
+// tenant's granted share. No-op without tenants. Caller holds c.mu.
 func (c *Controller) applyTenantScale(host topo.HostID, lists []proto.Pinglist) {
 	ts := c.ten
 	if ts == nil || len(lists) == 0 {

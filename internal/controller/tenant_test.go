@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"rpingmesh/internal/sim"
@@ -178,6 +179,50 @@ func TestTenantMaxPPSCap(t *testing.T) {
 		if g.Name == "open" && g.GrantedPPS != g.DemandPPS {
 			t.Fatalf("open tenant throttled with an infinite pool: %+v", g)
 		}
+	}
+}
+
+// TestTenantGrantsConcurrentWithControlPath: the daemon's stats loop and
+// the ops console's /api/tenants read TenantGrants from their own
+// goroutines while the wire control path registers RNICs, serves
+// pinglists, and rotates tuples. Under -race this pins the Controller's
+// internal locking — the console read used to race Register's registry
+// writes and the scheduler's recompute.
+func TestTenantGrantsConcurrentWithControlPath(t *testing.T) {
+	tp := buildClos(t)
+	c := New(sim.New(1), tp, Config{
+		Tenants:           []TenantConfig{{Name: "a", Weight: 2}, {Name: "b", Weight: 1}},
+		TenantCapacityPPS: 50,
+	})
+	hosts := tp.AllHosts()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.TenantGrants()
+				c.Registered()
+			}
+		}()
+	}
+	for round := 0; round < 20; round++ {
+		registerAllSimple(c, tp)
+		for _, h := range hosts {
+			c.Pinglists(h)
+		}
+		c.RotateInterToR()
+	}
+	close(stop)
+	wg.Wait()
+	if g := c.TenantGrants(); len(g) != 2 {
+		t.Fatalf("grants after concurrent churn = %+v", g)
 	}
 }
 

@@ -170,6 +170,42 @@ func TestFollowerOfJournallessPrimary(t *testing.T) {
 	}
 }
 
+// TestFollowerIngestOnlyJournallessPrimary: a journal-less primary fed
+// exclusively through IngestRecords (the main ingest path) must still
+// advance its mutation seq — otherwise DeltaSince answers ok-and-empty,
+// the follower never falls back to a snapshot, and a stale replica
+// reports Lag 0 forever.
+func TestFollowerIngestOnlyJournallessPrimary(t *testing.T) {
+	db := Open(Config{})
+	f := NewFollower(db)
+	b := &proto.RecordBatch{Host: "host-0", Sent: sim.Second}
+	r0 := b.AddRoute(proto.Route{SrcDev: "rnic-0", DstDev: "dev-0",
+		ProbePath: []topo.LinkID{1, 2, 3}})
+	for i := 0; i < 30; i++ {
+		flags := uint8(0)
+		if i%10 == 9 {
+			flags = proto.RecTimeout
+		}
+		b.Append(r0, uint64(i), sim.Second+sim.Time(i)*sim.Millisecond, flags,
+			sim.Time(20_000+i*29), 0, 0, 0)
+	}
+	db.IngestRecords(b)
+	if db.JournalSeq() == 0 {
+		t.Fatal("IngestRecords advanced no mutation seq with journaling off")
+	}
+	if f.Lag() == 0 {
+		t.Fatal("stale follower of an ingest-only journal-less primary reports zero lag")
+	}
+	f.CatchUp()
+	if st := f.FollowerStats(); st.Snapshots == 0 || st.Applied != 0 {
+		t.Fatalf("expected snapshot resync, got %+v", st)
+	}
+	if lag := f.Lag(); lag != 0 {
+		t.Fatalf("lag %d after CatchUp", lag)
+	}
+	assertReplica(t, db, f, 2*sim.Second)
+}
+
 // BenchmarkFollowerCatchup measures replaying one window of mixed
 // mutations (exact + sketch + record ingest) into a follower.
 func BenchmarkFollowerCatchup(b *testing.B) {

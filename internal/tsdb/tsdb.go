@@ -352,21 +352,18 @@ func (db *DB) IngestRecords(b *proto.RecordBatch) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.ingested += uint64(n)
-	journaling := len(db.jr.buf) > 0
 	hostName := "ingest.rtt." + string(b.Host)
 	host := db.sketchLocked(hostName)
 	memo := make([]*sketchSeries, b.Routes())
-	var memoName []string
-	if journaling {
-		memoName = make([]string, b.Routes())
-	}
+	memoName := make([]string, b.Routes())
 	for i := 0; i < n; i++ {
 		rt := b.RouteAt(i)
 		dev := string(rt.DstDev)
 		db.counts.Add(dev, 1)
-		if journaling {
-			db.journal(opCount, dev, 0, 1)
-		}
+		// journal is called for every mutation — even with journaling off
+		// it advances jseq, which followers of journal-less primaries need
+		// to detect staleness and fall back to snapshots.
+		db.journal(opCount, dev, 0, 1)
 		if b.Timeout(i) {
 			continue
 		}
@@ -376,17 +373,13 @@ func (db *DB) IngestRecords(b *proto.RecordBatch) {
 			pname := PathSeriesName(rt)
 			ss = db.sketchLocked(pname)
 			memo[ri] = ss
-			if journaling {
-				memoName[ri] = pname
-			}
+			memoName[ri] = pname
 		}
 		v := float64(b.NetworkRTT(i))
 		host.add(&db.cfg, b.Sent, v)
 		ss.add(&db.cfg, b.Sent, v)
-		if journaling {
-			db.journal(opSketch, hostName, b.Sent, v)
-			db.journal(opSketch, memoName[ri], b.Sent, v)
-		}
+		db.journal(opSketch, hostName, b.Sent, v)
+		db.journal(opSketch, memoName[ri], b.Sent, v)
 	}
 }
 
